@@ -1,0 +1,130 @@
+package adhocnet_test
+
+// One benchmark per figure and theory experiment of the paper, plus the
+// ablation benches called out in DESIGN.md. Each figure benchmark runs its
+// experiment end to end on a benchmark-sized preset (same code path as
+// `repro -preset quick/paper`, scaled down so -bench=. completes quickly);
+// use cmd/repro for full-scale regeneration.
+
+import (
+	"testing"
+
+	"adhocnet/internal/core"
+	"adhocnet/internal/experiments"
+	"adhocnet/internal/geom"
+	"adhocnet/internal/graph"
+	"adhocnet/internal/mobility"
+	"adhocnet/internal/xrand"
+)
+
+// benchPreset is the smallest preset that still exercises every stage of an
+// experiment (stationary estimation, mobile estimation, fixed-range
+// evaluation).
+func benchPreset() experiments.Preset {
+	return experiments.Preset{
+		Name:               "bench",
+		Iterations:         2,
+		Steps:              60,
+		StationarySamples:  100,
+		Sides:              []float64{256, 1024},
+		StationaryQuantile: 0.99,
+		Seed:               1,
+		Workers:            1,
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchPreset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 2-9 of the paper's evaluation.
+
+func BenchmarkFig2RatiosWaypoint(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig3RatiosDrunkard(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig4LargestCompWaypoint(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig5LargestCompDrunkard(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6ComponentTargets(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7PStationarySweep(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFig8PauseSweep(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9SpeedSweep(b *testing.B)          { benchExperiment(b, "fig9") }
+
+// Theory experiments (Sections 2-3).
+
+func BenchmarkT1Occupancy(b *testing.B)       { benchExperiment(b, "t1") }
+func BenchmarkT2OneDimThreshold(b *testing.B) { benchExperiment(b, "t2") }
+func BenchmarkT3GapPattern(b *testing.B)      { benchExperiment(b, "t3") }
+
+// Extensions / ablations.
+
+func BenchmarkExtDirectionModel(b *testing.B)      { benchExperiment(b, "ext-direction") }
+func BenchmarkExtEnergySavings(b *testing.B)       { benchExperiment(b, "ext-energy") }
+func BenchmarkExtQuantileSensitivity(b *testing.B) { benchExperiment(b, "ext-quantile") }
+func BenchmarkExtStructure(b *testing.B)           { benchExperiment(b, "ext-structure") }
+func BenchmarkExtTwoDimTheory(b *testing.B)        { benchExperiment(b, "ext-2dtheory") }
+func BenchmarkExtMobilityQuantity(b *testing.B)    { benchExperiment(b, "ext-quantity") }
+func BenchmarkExtRangeAssignment(b *testing.B)     { benchExperiment(b, "ext-rangeassign") }
+func BenchmarkExtDataMule(b *testing.B)            { benchExperiment(b, "ext-datamule") }
+
+// Ablation: profile-based fixed-range evaluation vs the paper's direct
+// per-step graph rebuild (DESIGN.md, "Key algorithmic decision").
+
+func ablationNetwork() (core.Network, core.RunConfig) {
+	l := 4096.0
+	net := core.Network{
+		Nodes:  64,
+		Region: geom.MustRegion(l, 2),
+		Model:  mobility.PaperWaypoint(l),
+	}
+	cfg := core.RunConfig{Iterations: 2, Steps: 200, Seed: 1, Workers: 1}
+	return net, cfg
+}
+
+func BenchmarkAblationFixedRangeProfile(b *testing.B) {
+	net, cfg := ablationNetwork()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvaluateFixedRange(net, cfg, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFixedRangeDirect(b *testing.B) {
+	net, cfg := ablationNetwork()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DirectFixedRange(net, cfg, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Core micro-benchmarks sizing the per-snapshot cost at the paper's largest
+// configuration (n = 128 in [0,16384]^2).
+
+func BenchmarkSnapshotProfileN128(b *testing.B) {
+	reg := geom.MustRegion(16384, 2)
+	pts := reg.UniformPoints(xrand.New(1), 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.NewProfile(pts)
+	}
+}
+
+func BenchmarkStationarySampleN128(b *testing.B) {
+	reg := geom.MustRegion(16384, 2)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.StationaryCriticalSample(reg, 128, 50, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

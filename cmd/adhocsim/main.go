@@ -1,0 +1,136 @@
+// Command adhocsim is the paper's connectivity simulator (Section 4.1) as a
+// CLI: it distributes n nodes uniformly in [0,l]^d, moves them with the
+// selected mobility model, rebuilds the communication graph at transmitting
+// range r after every step, and reports the percentage of connected graphs,
+// the average size of the largest connected component over the disconnected
+// graphs, and the minimum size of the largest connected component — per
+// iteration and overall.
+//
+// Example (one of the paper's Figure 2 operating points):
+//
+//	adhocsim -l 4096 -n 64 -r 400 -model waypoint -iters 10 -steps 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"adhocnet/internal/core"
+	"adhocnet/internal/geom"
+	"adhocnet/internal/mobility"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "adhocsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("adhocsim", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 64, "number of nodes")
+		l       = fs.Float64("l", 4096, "side of the deployment region [0,l]^d")
+		dim     = fs.Int("d", 2, "dimension of the deployment region (1, 2 or 3)")
+		r       = fs.Float64("r", 0, "transmitting range (required, > 0)")
+		iters   = fs.Int("iters", 50, "number of independent iterations")
+		steps   = fs.Int("steps", 10000, "mobility steps per iteration (1 = stationary)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "parallel iterations (0 = all CPUs)")
+		model   = fs.String("model", "waypoint", "mobility model: stationary, waypoint, drunkard, direction")
+		verbose = fs.Bool("per-iter", false, "print per-iteration results")
+		curve   = fs.Bool("curve", false, "also print the range-vs-uptime curve (r_f for f = 0..1)")
+
+		// Random waypoint / random direction parameters.
+		vmin        = fs.Float64("vmin", 0.1, "waypoint/direction: minimum speed (units per step)")
+		vmax        = fs.Float64("vmax", -1, "waypoint/direction: maximum speed (default 0.01*l)")
+		tpause      = fs.Int("tpause", 2000, "waypoint/direction: pause steps at destination")
+		pstationary = fs.Float64("pstationary", 0, "fraction of nodes that never move")
+
+		// Drunkard parameters.
+		ppause = fs.Float64("ppause", 0.3, "drunkard: per-step pause probability")
+		m      = fs.Float64("m", -1, "drunkard: step radius (default 0.01*l)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *r <= 0 {
+		return fmt.Errorf("flag -r is required and must be positive (got %v)", *r)
+	}
+	if *vmax < 0 {
+		*vmax = 0.01 * *l
+	}
+	if *m < 0 {
+		*m = 0.01 * *l
+	}
+
+	reg, err := geom.NewRegion(*l, *dim)
+	if err != nil {
+		return err
+	}
+	var mob mobility.Model
+	switch *model {
+	case "stationary":
+		mob = mobility.Stationary{}
+	case "waypoint":
+		mob = mobility.RandomWaypoint{VMin: *vmin, VMax: *vmax, PauseSteps: *tpause, PStationary: *pstationary}
+	case "drunkard":
+		mob = mobility.Drunkard{PStationary: *pstationary, PPause: *ppause, M: *m}
+	case "direction":
+		mob = mobility.RandomDirection{VMin: *vmin, VMax: *vmax, PauseSteps: *tpause, PStationary: *pstationary}
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+
+	net := core.Network{Nodes: *n, Region: reg, Model: mob}
+	cfg := core.RunConfig{Iterations: *iters, Steps: *steps, Seed: *seed, Workers: *workers}
+	res, err := core.EvaluateFixedRange(net, cfg, *r)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "network: n=%d, region=[0,%g]^%d, model=%s, r=%g\n", *n, *l, *dim, mob.Name(), *r)
+	fmt.Fprintf(out, "run: %d iterations x %d steps, seed %d\n\n", *iters, *steps, *seed)
+	fmt.Fprintf(out, "connected graphs:        %6.2f%%\n", 100*res.ConnectedFraction)
+	if math.IsNaN(res.AvgLargestDisconnected) {
+		fmt.Fprintf(out, "avg largest (disc.):     -      (no disconnected graphs)\n")
+	} else {
+		fmt.Fprintf(out, "avg largest (disc.):     %6.2f nodes (%.1f%% of n)\n",
+			res.AvgLargestDisconnected, 100*res.AvgLargestFraction)
+	}
+	fmt.Fprintf(out, "min largest component:   %d nodes\n", res.MinLargest)
+
+	if *curve {
+		fractions := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
+		est, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: fractions})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nrange-vs-uptime curve (mean over iterations):\n")
+		fmt.Fprintf(out, "%10s %12s %12s\n", "uptime", "range", "range/r")
+		for i, f := range fractions {
+			e := est.Time[i]
+			fmt.Fprintf(out, "%9.0f%% %12.2f %12.3f\n", 100*f, e.Mean, e.Mean / *r)
+		}
+	}
+
+	if *verbose {
+		fmt.Fprintf(out, "\nper-iteration results:\n")
+		fmt.Fprintf(out, "%5s %12s %14s %12s %10s %10s\n",
+			"iter", "connected%", "avgLCC(disc)", "minLCC", "outages", "maxOutage")
+		for i, it := range res.PerIteration {
+			avg := "-"
+			if !math.IsNaN(it.AvgLargestDisconnected) {
+				avg = fmt.Sprintf("%.2f", it.AvgLargestDisconnected)
+			}
+			fmt.Fprintf(out, "%5d %11.2f%% %14s %12d %10d %10d\n",
+				i, 100*it.ConnectedFraction, avg, it.MinLargest,
+				it.Intervals.Count, it.Intervals.MaxLength)
+		}
+	}
+	return nil
+}

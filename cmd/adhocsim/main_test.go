@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProducesPaperOutputs(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-l", "512", "-n", "24", "-r", "150",
+		"-iters", "3", "-steps", "40", "-model", "waypoint", "-per-iter",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"connected graphs:",
+		"avg largest (disc.):",
+		"min largest component:",
+		"per-iteration results:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Three per-iteration rows.
+	if got := strings.Count(text, "\n    "); got < 3 {
+		t.Errorf("expected 3 per-iteration rows, found %d:\n%s", got, text)
+	}
+}
+
+func TestRunCurve(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-l", "256", "-n", "12", "-r", "100",
+		"-iters", "2", "-steps", "20", "-curve",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "range-vs-uptime curve") {
+		t.Fatalf("curve header missing:\n%s", text)
+	}
+	// One row per fraction: 0..100%.
+	for _, want := range []string{"0%", "50%", "100%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("curve missing %q row:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunAllModels(t *testing.T) {
+	for _, model := range []string{"stationary", "waypoint", "drunkard", "direction"} {
+		var out strings.Builder
+		err := run([]string{
+			"-l", "256", "-n", "10", "-r", "100",
+			"-iters", "2", "-steps", "10", "-model", model,
+		}, &out)
+		if err != nil {
+			t.Errorf("model %s: %v", model, err)
+		}
+	}
+}
+
+func TestRunStationaryFullRange(t *testing.T) {
+	// At the region diameter everything is connected; the average-largest
+	// line must show the no-disconnection marker.
+	var out strings.Builder
+	err := run([]string{
+		"-l", "100", "-n", "8", "-r", "150", "-d", "2",
+		"-iters", "2", "-steps", "5", "-model", "stationary",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "100.00%") {
+		t.Errorf("diameter range should be fully connected:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "no disconnected graphs") {
+		t.Errorf("expected no-disconnection marker:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"missing r":     {"-l", "100", "-n", "5"},
+		"negative r":    {"-r", "-5"},
+		"unknown model": {"-r", "10", "-model", "teleport"},
+		"bad dimension": {"-r", "10", "-d", "7"},
+		"bad pause":     {"-r", "10", "-tpause", "-3"},
+	}
+	for name, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestRunOneDimensional(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-l", "1000", "-n", "50", "-r", "120", "-d", "1",
+		"-iters", "2", "-steps", "5", "-model", "drunkard",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[0,1000]^1") {
+		t.Errorf("1-D header missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenInfoConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "trace.bin")
+	txt := filepath.Join(dir, "trace.txt")
+	bin2 := filepath.Join(dir, "trace2.bin")
+
+	var out strings.Builder
+	err := run([]string{"gen", "-model", "waypoint", "-l", "500", "-n", "12",
+		"-steps", "40", "-seed", "9", "-o", bin}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "12 nodes x 40 snapshots") {
+		t.Errorf("gen output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"info", "-r", "120", bin}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"12 nodes, 40 snapshots", "critical radius", "connected at r=120"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("info output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"convert", "-to", "text", bin, txt}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# adhocnet-trace v1") {
+		t.Errorf("text conversion wrong: %.80s", data)
+	}
+
+	// Text back to binary, then info again: same shape.
+	out.Reset()
+	if err := run([]string{"convert", "-to", "binary", txt, bin2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"info", bin2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "12 nodes, 40 snapshots") {
+		t.Errorf("round-tripped info: %s", out.String())
+	}
+}
+
+func TestGenAllModels(t *testing.T) {
+	dir := t.TempDir()
+	for _, model := range []string{"stationary", "waypoint", "drunkard", "direction"} {
+		var out strings.Builder
+		path := filepath.Join(dir, model+".bin")
+		err := run([]string{"gen", "-model", model, "-l", "200", "-n", "6",
+			"-steps", "10", "-o", path}, &out)
+		if err != nil {
+			t.Errorf("model %s: %v", model, err)
+		}
+	}
+}
+
+func TestGenTextFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	var out strings.Builder
+	err := run([]string{"gen", "-model", "stationary", "-l", "100", "-n", "4",
+		"-steps", "5", "-text", "-o", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# adhocnet-trace v1") {
+		t.Errorf("text flag produced non-text output: %.60s", data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]string{
+		"no subcommand":    {},
+		"unknown command":  {"frobnicate"},
+		"gen missing -o":   {"gen", "-model", "waypoint"},
+		"gen bad model":    {"gen", "-model", "x", "-o", filepath.Join(dir, "t")},
+		"info missing arg": {"info"},
+		"info no file":     {"info", filepath.Join(dir, "nope.bin")},
+		"convert bad args": {"convert", "-to", "text", "only-one"},
+		"convert bad fmt":  {"convert", "-to", "xml", "a", "b"},
+	}
+	for name, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command occutool evaluates the occupancy theory of the paper's Section 2
+// for a given number of balls (nodes) n and cells C: exact and asymptotic
+// moments of mu(n,C) (the number of empty cells), the asymptotic domain, the
+// Theorem 2 limit law, and optionally the exact distribution around the mean.
+//
+//	occutool -n 1024 -c 256
+//	occutool -n 1024 -c 256 -pmf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"adhocnet/internal/occupancy"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "occutool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("occutool", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 0, "number of balls (required)")
+		c       = fs.Int("c", 0, "number of cells (required)")
+		showPMF = fs.Bool("pmf", false, "print the exact distribution within 4 sigma of the mean")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 || *c <= 0 {
+		return fmt.Errorf("flags -n and -c are required and must be positive")
+	}
+
+	alpha := occupancy.Alpha(*n, *c)
+	e := occupancy.ExpectedEmpty(*n, *c)
+	v := occupancy.VarianceEmpty(*n, *c)
+	dom := occupancy.ClassifyDomain(*n, *c)
+	law := occupancy.Limit(*n, *c)
+
+	fmt.Fprintf(out, "occupancy: n=%d balls in C=%d cells (alpha = n/C = %.4g)\n\n", *n, *c, alpha)
+	fmt.Fprintf(out, "E[mu]   exact: %-12.6g  Theorem 1: %-12.6g  bound Ce^-a: %.6g\n",
+		e, occupancy.ExpectedEmptyAsymptotic(*n, *c), occupancy.ExpectedEmptyUpperBound(*n, *c))
+	fmt.Fprintf(out, "Var[mu] exact: %-12.6g  Theorem 1: %.6g\n",
+		v, occupancy.VarianceEmptyAsymptotic(*n, *c))
+	fmt.Fprintf(out, "domain: %s\n", dom)
+	switch law.Kind {
+	case occupancy.LawPoisson:
+		fmt.Fprintf(out, "limit law (Thm 2): Poisson(lambda = %.6g)\n", law.Lambda)
+	case occupancy.LawShiftedPoisson:
+		fmt.Fprintf(out, "limit law (Thm 2): mu - %d ~ Poisson(rho = %.6g)\n", law.Shift, law.Lambda)
+	default:
+		fmt.Fprintf(out, "limit law (Thm 2): Normal(mean = %.6g, std = %.6g)\n", law.Mean, law.Std)
+	}
+
+	if *showPMF {
+		pmf, err := occupancy.EmptyCellsPMF(*n, *c)
+		if err != nil {
+			return err
+		}
+		sigma := math.Sqrt(v)
+		lo := int(math.Max(0, math.Floor(e-4*sigma)))
+		hi := int(math.Min(float64(*c), math.Ceil(e+4*sigma)))
+		fmt.Fprintf(out, "\n%6s %14s %14s\n", "k", "P(mu=k) exact", "limit law")
+		for k := lo; k <= hi; k++ {
+			fmt.Fprintf(out, "%6d %14.6g %14.6g\n", k, pmf[k], law.PMF(k))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOccutoolBasic(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "1024", "-c", "256"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"E[mu]", "Var[mu]", "domain: RHD", "Poisson"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestOccutoolPMF(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "64", "-c", "64", "-pmf"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "P(mu=k) exact") {
+		t.Errorf("pmf table missing:\n%s", out.String())
+	}
+	// CD family: normal limit law.
+	if !strings.Contains(out.String(), "Normal") {
+		t.Errorf("expected normal law for n=C:\n%s", out.String())
+	}
+}
+
+func TestOccutoolLHD(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "16", "-c", "256"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "domain: LHD") ||
+		!strings.Contains(out.String(), "mu - 240 ~ Poisson") {
+		t.Errorf("LHD shifted-Poisson law missing:\n%s", out.String())
+	}
+}
+
+func TestOccutoolErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"missing flags": {},
+		"bad n":         {"-n", "-5", "-c", "10"},
+		"bad c":         {"-n", "5", "-c", "0"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command repro regenerates the paper's figures and the theory-validation
+// experiments. Results are printed as markdown tables and ASCII charts, and
+// optionally written as CSV files to an output directory.
+//
+//	repro -list
+//	repro -experiment fig2 -preset quick
+//	repro -experiment all -preset paper -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"adhocnet/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	var (
+		expID   = fs.String("experiment", "all", "experiment id or 'all' (see -list)")
+		preset  = fs.String("preset", "quick", "effort preset: quick or paper")
+		outDir  = fs.String("out", "", "directory for CSV output (optional)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		seed    = fs.Uint64("seed", 0, "override preset seed (0 = keep preset default)")
+		workers = fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-14s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	p, err := experiments.PresetByName(*preset)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	p.Workers = *workers
+
+	var selected []experiments.Experiment
+	if *expID == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("creating output directory: %w", err)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(p)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(out, "== %s (%s preset, %s) ==\n\n", res.Title, p.Name, time.Since(start).Round(time.Millisecond))
+		for _, tb := range res.Tables {
+			fmt.Fprintln(out, tb.Markdown())
+		}
+		for _, ch := range res.Charts {
+			fmt.Fprintln(out, ch.ASCII(72, 16))
+		}
+		for _, note := range res.Notes {
+			fmt.Fprintf(out, "note: %s\n", note)
+		}
+		fmt.Fprintln(out)
+		if *outDir != "" {
+			for i, tb := range res.Tables {
+				name := fmt.Sprintf("%s_%d.csv", res.ID, i)
+				if err := os.WriteFile(filepath.Join(*outDir, name), []byte(tb.CSV()), 0o644); err != nil {
+					return fmt.Errorf("writing %s: %w", name, err)
+				}
+			}
+		}
+	}
+	return nil
+}

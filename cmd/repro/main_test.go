@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig2", "fig9", "t1", "t3", "ext-energy"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("listing missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	// t1 is the cheapest experiment (no mobile simulation).
+	if err := run([]string{"-experiment", "t1", "-preset", "quick", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "T1") {
+		t.Errorf("output missing experiment title:\n%s", out.String())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "t1_*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("expected 2 CSV files, found %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "domain") {
+		t.Errorf("CSV missing header: %s", data)
+	}
+}
+
+func TestRunCommaSeparatedIDs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "t1,t3", "-preset", "quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "T1") || !strings.Contains(out.String(), "gap-pattern") {
+		t.Errorf("multi-experiment output incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"unknown experiment": {"-experiment", "fig99"},
+		"unknown preset":     {"-experiment", "t1", "-preset", "huge"},
+	}
+	for name, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestSeedOverrideChangesResults(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-experiment", "t3", "-preset", "quick", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-experiment", "t3", "-preset", "quick", "-seed", "6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	stripA := stripTimings(a.String())
+	stripB := stripTimings(b.String())
+	if stripA == stripB {
+		t.Error("different seeds produced identical simulated output")
+	}
+}
+
+func stripTimings(s string) string {
+	lines := strings.Split(s, "\n")
+	kept := lines[:0]
+	for _, line := range lines {
+		if strings.HasPrefix(line, "==") {
+			continue // header contains the elapsed time
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}

@@ -1,0 +1,24 @@
+// Package adhocnet is a Go reproduction of "An Evaluation of Connectivity in
+// Mobile Wireless Ad Hoc Networks" (Santi and Blough, DSN 2002).
+//
+// The module implements, from scratch and on the standard library only:
+//
+//   - the paper's connectivity simulator for stationary and mobile ad hoc
+//     networks (internal/core), with the random waypoint and drunkard
+//     mobility models of Section 4.1 (internal/mobility);
+//   - the occupancy theory of Section 2 (internal/occupancy) and the exact
+//     1-D connectivity results of Section 3 (internal/unidim), including the
+//     {10*1} cell-pattern machinery behind Theorem 4;
+//   - the substrates those need: deterministic splittable PRNG
+//     (internal/xrand), geometry (internal/geom), neighbor search
+//     (internal/spatial), graph/MST/connectivity-profile algorithms
+//     (internal/graph), statistics (internal/stats), and mobility traces
+//     (internal/trace);
+//   - runners regenerating every figure of the paper's evaluation plus
+//     theory-validation experiments (internal/experiments), exposed through
+//     the cmd/repro, cmd/adhocsim, cmd/occutool and cmd/mobgen binaries.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each figure through the testing.B harness.
+package adhocnet

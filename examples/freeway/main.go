@@ -1,0 +1,86 @@
+// Freeway: the paper's motivating 1-D application.
+//
+// Cars on a stretch of highway relay congestion warnings to vehicles behind
+// them. The highway approximates a 1-dimensional region, the exact setting of
+// the paper's Section 3 theory, so this example can compare three answers to
+// "what radio range do the cars need?":
+//
+//  1. the exact 1-D connectivity law (unidim.ConnectivityProbability),
+//  2. the Theorem 5 threshold rn = Theta(l log l),
+//  3. Monte-Carlo simulation of the same deployment.
+//
+// It also demonstrates the worst/best/random placement comparison the paper
+// makes after Theorem 5.
+//
+//	go run ./examples/freeway
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"adhocnet/internal/core"
+	"adhocnet/internal/geom"
+	"adhocnet/internal/stats"
+	"adhocnet/internal/unidim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 20 km stretch with one equipped car every 100 m on average.
+	const (
+		meters = 20000.0
+		cars   = 200
+	)
+	fmt.Printf("freeway: %d equipped cars on %.0f km\n\n", cars, meters/1000)
+
+	// Exact theory: range for 90%, 99%, 99.9% connectivity probability.
+	fmt.Println("exact 1-D law (Section 3):")
+	for _, p := range []float64{0.9, 0.99, 0.999} {
+		ratio, err := unidim.RadiusForConnectivity(cars, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  P(connected) >= %5.1f%%  needs range %6.0f m\n", 100*p, ratio*meters)
+	}
+
+	// The Theorem 5 threshold says rn ~ l ln l is the critical product.
+	rThreshold := meters * math.Log(meters) / cars
+	fmt.Printf("\nTheorem 5 threshold scale: r*n = l*ln(l) -> r ~ %.0f m\n", rThreshold)
+	fmt.Printf("  exact P(connected) at that range: %.3f\n",
+		unidim.ConnectivityProbability(cars, rThreshold/meters))
+
+	// Simulation cross-check: empirical connectivity at the 99% range.
+	region := geom.MustRegion(meters, 1)
+	r99, err := unidim.RadiusForConnectivity(cars, 0.99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	criticals, err := core.StationaryCriticalSample(region, cars, 4000, 11, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	empirical := stats.ECDF(criticals, r99*meters)
+	fmt.Printf("\nsimulation (4000 deployments): P(connected) at the exact 99%% range = %.3f\n", empirical)
+
+	// Placement comparison (paper, after Theorem 5): worst case needs
+	// Omega(l), best case l/n, random Theta(log l) per unit density.
+	fmt.Println("\nplacement comparison:")
+	fmt.Printf("  worst case (two clusters):    %8.0f m\n", unidim.WorstCaseRadius(meters))
+	fmt.Printf("  best case (equally spaced):   %8.0f m\n", unidim.BestCaseRadius(cars, meters))
+	fmt.Printf("  random, 99%% of deployments:   %8.0f m\n", r99*meters)
+
+	// Dimensioning: the paper's alternate formulation — with 250 m radios,
+	// how many cars must be equipped?
+	const radio = 250.0
+	n, err := unidim.NodesForConnectivity(radio/meters, 0.99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndimensioning: with %.0f m radios, %d equipped cars give 99%% connectivity\n",
+		radio, n)
+	fmt.Printf("  (expected isolated cars at that density: %.3f)\n",
+		unidim.ExpectedIsolatedNodes(n, radio/meters))
+}

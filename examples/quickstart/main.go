@@ -1,0 +1,82 @@
+// Quickstart: the 30-second tour of the library.
+//
+// It builds a 2-D ad hoc network, finds the critical transmitting range of a
+// static deployment, then lets the nodes move under the random waypoint model
+// and measures how much extra range continuous connectivity costs — the
+// paper's central question (MTR and MTRM).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adhocnet/internal/core"
+	"adhocnet/internal/geom"
+	"adhocnet/internal/graph"
+	"adhocnet/internal/mobility"
+	"adhocnet/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 64-node sensor network dropped uniformly over a 4096 x 4096 region
+	// (one of the paper's operating points: n = sqrt(l)).
+	const (
+		side  = 4096.0
+		nodes = 64
+	)
+	region := geom.MustRegion(side, 2)
+	rng := xrand.New(42)
+
+	// --- Stationary: one placement and its exact critical range. ---
+	placement := region.UniformPoints(rng, nodes)
+	profile := graph.NewProfile(placement)
+	fmt.Printf("one static placement of %d nodes in [0,%.0f]^2:\n", nodes, side)
+	fmt.Printf("  critical transmitting range: %.1f\n", profile.Critical())
+	fmt.Printf("  at 80%% of that range the largest component still has %d/%d nodes\n\n",
+		profile.LargestAt(0.8*profile.Critical()), nodes)
+
+	// --- Stationary, statistically: r_stationary over many placements. ---
+	rStationary, err := core.RStationary(region, nodes, 1000, 1, 0, core.DefaultStationaryQuantile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("r_stationary (99%% of placements connected): %.1f\n\n", rStationary)
+
+	// --- Mobile: how much more range does continuous connectivity cost? ---
+	net := core.Network{
+		Nodes:  nodes,
+		Region: region,
+		Model:  mobility.PaperWaypoint(side), // v_max = 0.01*l, t_pause = 2000
+	}
+	cfg := core.RunConfig{Iterations: 10, Steps: 2000, Seed: 7}
+	est, err := core.EstimateRanges(net, cfg, core.PaperTargets())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("random waypoint mobility (10 runs x 2000 steps):")
+	for _, f := range []float64{1, 0.9, 0.1} {
+		e, err := est.TimeFraction(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  connected %3.0f%% of the time needs r = %6.1f  (%.2f x r_stationary)\n",
+			100*f, e.Mean, e.Mean/rStationary)
+	}
+
+	// --- The energy angle: what does relaxing 100% -> 90% save? ---
+	r100, err := est.TimeFraction(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r90, err := est.TimeFraction(0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saving := core.DefaultRadioEnergy.SavingsFraction(r90.Mean, r100.Mean)
+	fmt.Printf("\naccepting 10%% downtime cuts transmit power by %.0f%% (free-space path loss)\n",
+		100*saving)
+}

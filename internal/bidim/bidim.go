@@ -1,0 +1,187 @@
+// Package bidim provides the 2-dimensional connectivity theory the paper
+// cites as related work and uses as context for its simulations: the
+// Gupta-Kumar critical-power result ([4] in the paper) transplanted to the
+// square deployment region, and the isolated-node Poisson heuristic that
+// links it to the simulated r_stationary.
+//
+// Gupta and Kumar prove that in the unit disk with n nodes, coverage
+// pi*r(n)^2 = (ln n + c(n))/n gives asymptotic connectivity iff
+// c(n) -> +inf. Rescaled to the paper's region [0,l]^2 this predicts a
+// critical transmitting range
+//
+//	r(n, l) = l * sqrt((ln n + c) / (pi * n)).
+//
+// At the paper's operating points (n = sqrt(l), so r/l ~ 0.1-0.3) boundary
+// effects are far from negligible: nodes near the border cover much less
+// than a full disk and are therefore much more likely to be isolated. The
+// package provides both the borderless (torus) isolated-node expectation and
+// the boundary-exact one for the square, obtained by integrating the exact
+// disk-square intersection area over node positions.
+package bidim
+
+import (
+	"fmt"
+	"math"
+)
+
+// CriticalRadius returns the Gupta-Kumar critical transmitting range for n
+// nodes in [0,l]^2 at offset parameter c: l*sqrt((ln n + c)/(pi n)). The
+// offset c = 0 marks the connectivity threshold. It returns 0 for n < 2 or
+// a non-positive threshold argument.
+func CriticalRadius(n int, l, c float64) float64 {
+	if n < 2 || l <= 0 {
+		return 0
+	}
+	arg := (math.Log(float64(n)) + c) / (math.Pi * float64(n))
+	if arg <= 0 {
+		return 0
+	}
+	return l * math.Sqrt(arg)
+}
+
+// ExpectedIsolatedNodesTorus returns the expected number of isolated nodes
+// among n uniform nodes with range r when boundary effects are ignored
+// (every node covers a full disk, as on a torus):
+// n * (1 - pi r^2 / l^2)^(n-1).
+func ExpectedIsolatedNodesTorus(n int, l, r float64) float64 {
+	if n <= 0 || l <= 0 {
+		return 0
+	}
+	if r < 0 {
+		r = 0
+	}
+	p := 1 - math.Pi*r*r/(l*l)
+	if p <= 0 {
+		return 0
+	}
+	return float64(n) * math.Pow(p, float64(n-1))
+}
+
+// ExpectedIsolatedNodes returns the boundary-exact expected number of
+// isolated nodes among n uniform nodes in the square [0,l]^2 with range r:
+//
+//	E = n/l^2 * Int_{[0,l]^2} (1 - A(p)/l^2)^(n-1) dp,
+//
+// where A(p) is the area of the range disk around p intersected with the
+// square. A(p) is evaluated in closed-enough form (1-D integral with a
+// trigonometric substitution that removes the endpoint singularity) and the
+// outer integral by Simpson's rule over a quarter of the square (symmetry).
+// Accuracy is ~4 significant digits across the parameter ranges used here.
+func ExpectedIsolatedNodes(n int, l, r float64) float64 {
+	if n <= 0 || l <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return float64(n)
+	}
+	if r >= l*math.Sqrt2 {
+		return 0
+	}
+	const grid = 96 // Simpson panels per axis over the quarter square
+	h := (l / 2) / grid
+	sum := 0.0
+	for i := 0; i <= grid; i++ {
+		wi := simpsonWeight(i, grid)
+		x := float64(i) * h
+		for j := 0; j <= grid; j++ {
+			wj := simpsonWeight(j, grid)
+			y := float64(j) * h
+			a := diskSquareArea(x, y, r, l)
+			p := 1 - a/(l*l)
+			if p < 0 {
+				p = 0
+			}
+			sum += wi * wj * math.Pow(p, float64(n-1))
+		}
+	}
+	integral := sum * h * h / 9 // quarter-square integral
+	return float64(n) * 4 * integral / (l * l)
+}
+
+// simpsonWeight returns the composite-Simpson weight of sample i of m
+// panels (m even is enforced by construction: grid is even).
+func simpsonWeight(i, m int) float64 {
+	switch {
+	case i == 0 || i == m:
+		return 1
+	case i%2 == 1:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// diskSquareArea returns the area of the disk of radius r centered at
+// (cx, cy) intersected with the square [0,l]^2, via the 1-D integral of the
+// clipped chord height with the substitution x = cx + r sin(theta).
+func diskSquareArea(cx, cy, r, l float64) float64 {
+	lo := math.Max(0, cx-r)
+	hi := math.Min(l, cx+r)
+	if hi <= lo {
+		return 0
+	}
+	// theta ranges over [asin((lo-cx)/r), asin((hi-cx)/r)].
+	t0 := math.Asin(clamp((lo-cx)/r, -1, 1))
+	t1 := math.Asin(clamp((hi-cx)/r, -1, 1))
+	const steps = 128 // Simpson panels
+	h := (t1 - t0) / steps
+	sum := 0.0
+	for i := 0; i <= steps; i++ {
+		theta := t0 + float64(i)*h
+		half := r * math.Cos(theta)
+		top := math.Min(l, cy+half)
+		bottom := math.Max(0, cy-half)
+		height := top - bottom
+		if height < 0 {
+			height = 0
+		}
+		// dx = r cos(theta) dtheta.
+		sum += simpsonWeight(i, steps) * height * r * math.Cos(theta)
+	}
+	return sum * h / 3
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ConnectivityProbabilityPoisson returns the isolated-node Poisson
+// approximation of the probability that n uniform nodes in [0,l]^2 with
+// range r form a connected graph: exp(-E[#isolated]), with the
+// boundary-exact expectation. In the threshold regime isolated nodes are
+// asymptotically the only obstruction to connectivity (Penrose), so this
+// tracks the simulated connectivity curve closely.
+func ConnectivityProbabilityPoisson(n int, l, r float64) float64 {
+	return math.Exp(-ExpectedIsolatedNodes(n, l, r))
+}
+
+// RadiusForConnectivity inverts ConnectivityProbabilityPoisson: the range at
+// which the approximation reaches probability p. It returns an error for p
+// outside (0,1) and 0 for n < 2 (any range connects).
+func RadiusForConnectivity(n int, l, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("bidim: target probability must be in (0,1), got %v", p)
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	if l <= 0 {
+		return 0, fmt.Errorf("bidim: region side must be positive, got %v", l)
+	}
+	lo, hi := 0.0, l*math.Sqrt2
+	for i := 0; i < 100 && hi-lo > 1e-9*l; i++ {
+		mid := (lo + hi) / 2
+		if ConnectivityProbabilityPoisson(n, l, mid) >= p {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

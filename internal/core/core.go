@@ -1,0 +1,160 @@
+// Package core implements the paper's connectivity simulator: it evaluates
+// the Minimum Transmitting Range problem (MTR) for stationary networks and
+// its mobile variant (MTRM) for networks whose nodes move according to a
+// mobility model.
+//
+// The simulator follows Section 4.1 of the paper: n nodes are distributed
+// uniformly in [0,l]^d, all nodes share one transmitting range r, and the
+// communication graph is re-evaluated after every mobility step. Outputs are
+// the percentage of connected graphs, the average size of the largest
+// connected component over the disconnected graphs, and the minimum size of
+// the largest connected component, per iteration and overall.
+//
+// Where the package goes beyond a literal re-implementation is in *how* the
+// per-step connectivity is obtained: every snapshot's connectivity profile
+// (critical radius plus largest-component-vs-range curve) is computed from
+// its Euclidean MST, so a single pass over a trajectory yields the paper's
+// metrics for every transmitting range at once — r_100, r_90, r_10, r_0 and
+// the r_l component-size targets fall out of one simulation instead of one
+// bisection run each. A direct fixed-range evaluator is also provided and
+// the two are cross-validated in the tests.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/graph"
+	"adhocnet/internal/mobility"
+	"adhocnet/internal/xrand"
+)
+
+// Network describes the simulated ad hoc network M_d = (N, P): node count,
+// deployment region [0,l]^d, and the mobility model that realizes the
+// placement function P.
+type Network struct {
+	Nodes  int
+	Region geom.Region
+	Model  mobility.Model
+}
+
+// Validate checks the network description.
+func (n Network) Validate() error {
+	if n.Nodes < 0 {
+		return fmt.Errorf("core: negative node count %d", n.Nodes)
+	}
+	if _, err := geom.NewRegion(n.Region.L, n.Region.Dim); err != nil {
+		return err
+	}
+	if n.Model == nil {
+		return fmt.Errorf("core: network has no mobility model")
+	}
+	return n.Model.Validate()
+}
+
+// RunConfig fixes the Monte-Carlo parameters of a simulation: the number of
+// independent iterations, the number of evaluated snapshots per iteration
+// (the initial placement counts as the first snapshot, so Steps = 1
+// reproduces the paper's stationary case), the master seed, and the worker
+// parallelism.
+type RunConfig struct {
+	Iterations int
+	Steps      int
+	Seed       uint64
+	// Workers bounds the number of iterations simulated concurrently;
+	// 0 means GOMAXPROCS. Results are deterministic regardless of Workers.
+	Workers int
+}
+
+// Validate checks the run configuration.
+func (c RunConfig) Validate() error {
+	if c.Iterations <= 0 {
+		return fmt.Errorf("core: iterations must be positive, got %d", c.Iterations)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("core: steps must be positive, got %d", c.Steps)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative workers %d", c.Workers)
+	}
+	return nil
+}
+
+func (c RunConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// snapshotProfile computes the connectivity profile of a placement, using
+// the O(n log n) sorted-gaps algorithm in one dimension and the O(n^2) MST
+// otherwise.
+func snapshotProfile(pts []geom.Point, dim int) *graph.Profile {
+	if dim == 1 {
+		xs := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i] = p.X
+		}
+		return graph.NewProfile1D(xs)
+	}
+	return graph.NewProfile(pts)
+}
+
+// forEachIteration runs fn for every iteration index with a private,
+// deterministically derived random stream, using a bounded worker pool. It
+// returns the first error encountered (all workers are always awaited).
+func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand) error) error {
+	seeds := xrand.New(cfg.Seed).SplitN(cfg.Iterations)
+
+	workers := cfg.workers()
+	if workers > cfg.Iterations {
+		workers = cfg.Iterations
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := range next {
+				if err := fn(iter, seeds[iter]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Iterations; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// runTrajectory simulates one iteration of the network and invokes visit
+// with the snapshot index and the connectivity profile of every evaluated
+// snapshot (the initial placement first, then after each mobility step).
+func runTrajectory(net Network, steps int, rng *xrand.Rand, visit func(step int, p *graph.Profile)) error {
+	state, err := net.Model.NewState(rng, net.Region, net.Nodes)
+	if err != nil {
+		return err
+	}
+	for t := 0; t < steps; t++ {
+		if t > 0 {
+			state.Step()
+		}
+		visit(t, snapshotProfile(state.Positions(), net.Region.Dim))
+	}
+	return nil
+}

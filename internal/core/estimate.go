@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocnet/internal/graph"
+	"adhocnet/internal/stats"
+	"adhocnet/internal/xrand"
+)
+
+// RangeTargets selects which transmitting-range statistics EstimateRanges
+// computes.
+type RangeTargets struct {
+	// TimeFractions are connectivity-time targets: fraction f yields the
+	// minimal range keeping the network connected during fraction f of the
+	// snapshots (the paper's r_100, r_90, r_10 for f = 1, 0.9, 0.1). The
+	// special value 0 yields r_0, the largest range at which no snapshot is
+	// connected.
+	TimeFractions []float64
+	// ComponentFractions are largest-component-size targets: fraction g
+	// yields the minimal range at which the average size of the largest
+	// connected component reaches g*n (the paper's r_l90, r_l75, r_l50 for
+	// g = 0.9, 0.75, 0.5).
+	ComponentFractions []float64
+}
+
+// PaperTargets returns the targets reported in the paper's evaluation:
+// r_100, r_90, r_10, r_0 and r_l90, r_l75, r_l50.
+func PaperTargets() RangeTargets {
+	return RangeTargets{
+		TimeFractions:      []float64{1, 0.9, 0.1, 0},
+		ComponentFractions: []float64{0.9, 0.75, 0.5},
+	}
+}
+
+// Validate checks the targets.
+func (t RangeTargets) Validate() error {
+	for _, f := range t.TimeFractions {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("core: time fraction %v outside [0,1]", f)
+		}
+	}
+	for _, g := range t.ComponentFractions {
+		if g <= 0 || g > 1 {
+			return fmt.Errorf("core: component fraction %v outside (0,1]", g)
+		}
+	}
+	return nil
+}
+
+// Estimate is the Monte-Carlo estimate of one transmitting-range statistic:
+// one value per iteration plus summary moments across iterations.
+type Estimate struct {
+	// Target is the fraction this estimate corresponds to.
+	Target float64
+	// PerIteration holds the per-iteration range values (index = iteration).
+	PerIteration []float64
+	// Mean, Std, Min, Max summarize PerIteration.
+	Mean, Std, Min, Max float64
+}
+
+func summarize(target float64, values []float64) Estimate {
+	var acc stats.Accumulator
+	for _, v := range values {
+		acc.Add(v)
+	}
+	return Estimate{
+		Target:       target,
+		PerIteration: values,
+		Mean:         acc.Mean(),
+		Std:          acc.StdDev(),
+		Min:          acc.Min(),
+		Max:          acc.Max(),
+	}
+}
+
+// RangeEstimates aggregates the range statistics of one simulated network.
+type RangeEstimates struct {
+	// Time[i] corresponds to RangeTargets.TimeFractions[i].
+	Time []Estimate
+	// Component[i] corresponds to RangeTargets.ComponentFractions[i].
+	Component []Estimate
+}
+
+// TimeFraction returns the estimate for the given connectivity-time target,
+// or an error when it was not requested.
+func (e RangeEstimates) TimeFraction(f float64) (Estimate, error) {
+	for _, est := range e.Time {
+		if est.Target == f {
+			return est, nil
+		}
+	}
+	return Estimate{}, fmt.Errorf("core: no time-fraction estimate for target %v", f)
+}
+
+// ComponentFraction returns the estimate for the given component-size
+// target, or an error when it was not requested.
+func (e RangeEstimates) ComponentFraction(g float64) (Estimate, error) {
+	for _, est := range e.Component {
+		if est.Target == g {
+			return est, nil
+		}
+	}
+	return Estimate{}, fmt.Errorf("core: no component-fraction estimate for target %v", g)
+}
+
+// EstimateRanges simulates the network and estimates every requested
+// transmitting-range statistic. For each iteration it computes the critical
+// radius of every snapshot; the time-fraction ranges are quantiles of that
+// per-iteration sample (f = 1 is the maximum: the range keeping every
+// snapshot connected), and the component-fraction ranges invert the
+// time-averaged largest-component curve by bisection. Per-iteration values
+// are then summarized across iterations exactly as the paper averages its 50
+// simulations.
+func EstimateRanges(net Network, cfg RunConfig, targets RangeTargets) (RangeEstimates, error) {
+	if err := net.Validate(); err != nil {
+		return RangeEstimates{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return RangeEstimates{}, err
+	}
+	if err := targets.Validate(); err != nil {
+		return RangeEstimates{}, err
+	}
+	if net.Nodes < 2 {
+		return RangeEstimates{}, fmt.Errorf("core: range estimation needs at least 2 nodes, got %d", net.Nodes)
+	}
+
+	timeVals := make([][]float64, len(targets.TimeFractions))
+	for i := range timeVals {
+		timeVals[i] = make([]float64, cfg.Iterations)
+	}
+	compVals := make([][]float64, len(targets.ComponentFractions))
+	for i := range compVals {
+		compVals[i] = make([]float64, cfg.Iterations)
+	}
+
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand) error {
+		profiles := make([]*graph.Profile, 0, cfg.Steps)
+		criticals := make([]float64, 0, cfg.Steps)
+		err := runTrajectory(net, cfg.Steps, rng, func(_ int, p *graph.Profile) {
+			profiles = append(profiles, p)
+			criticals = append(criticals, p.Critical())
+		})
+		if err != nil {
+			return err
+		}
+		sort.Float64s(criticals)
+		for i, f := range targets.TimeFractions {
+			timeVals[i][iter] = quantileForTimeFraction(criticals, f)
+		}
+		for i, g := range targets.ComponentFractions {
+			compVals[i][iter] = radiusForAverageLargest(profiles, net.Nodes, g)
+		}
+		return nil
+	})
+	if err != nil {
+		return RangeEstimates{}, err
+	}
+
+	out := RangeEstimates{
+		Time:      make([]Estimate, len(targets.TimeFractions)),
+		Component: make([]Estimate, len(targets.ComponentFractions)),
+	}
+	for i, f := range targets.TimeFractions {
+		out.Time[i] = summarize(f, timeVals[i])
+	}
+	for i, g := range targets.ComponentFractions {
+		out.Component[i] = summarize(g, compVals[i])
+	}
+	return out, nil
+}
+
+// quantileForTimeFraction maps a time-fraction target to the corresponding
+// per-iteration critical-radius quantile: target 1 is the maximum, target 0
+// is the minimum (r_0), anything between is the f-quantile.
+func quantileForTimeFraction(sortedCriticals []float64, f float64) float64 {
+	switch {
+	case f >= 1:
+		return sortedCriticals[len(sortedCriticals)-1]
+	case f <= 0:
+		return sortedCriticals[0]
+	default:
+		return stats.QuantileSorted(sortedCriticals, f)
+	}
+}
+
+// radiusForAverageLargest returns the minimal range at which the average
+// (over the iteration's snapshots) largest-component size reaches
+// frac * nodes, by bisection over the profiles. The average is monotone
+// nondecreasing in the range, reaching nodes at the largest critical radius.
+func radiusForAverageLargest(profiles []*graph.Profile, nodes int, frac float64) float64 {
+	target := frac * float64(nodes)
+	avgAt := func(r float64) float64 {
+		sum := 0.0
+		for _, p := range profiles {
+			sum += float64(p.LargestAt(r))
+		}
+		return sum / float64(len(profiles))
+	}
+	hi := 0.0
+	for _, p := range profiles {
+		if c := p.Critical(); c > hi {
+			hi = c
+		}
+	}
+	if avgAt(0) >= target {
+		return 0
+	}
+	lo := 0.0
+	for iter := 0; iter < 64 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if avgAt(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

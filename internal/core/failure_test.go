@@ -1,0 +1,143 @@
+package core
+
+// Failure-injection tests: evaluators must surface substrate errors instead
+// of swallowing them, terminate all workers cleanly, and stay robust to
+// hostile mobility models.
+
+import (
+	"errors"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/mobility"
+	"adhocnet/internal/xrand"
+)
+
+var errInjected = errors.New("injected failure")
+
+// failingModel errors on NewState for iterations whose first random draw
+// falls below failProb, simulating a substrate that fails intermittently.
+type failingModel struct {
+	failProb float64
+}
+
+func (failingModel) Name() string    { return "failing" }
+func (failingModel) Validate() error { return nil }
+
+func (m failingModel) NewState(rng *xrand.Rand, reg geom.Region, n int) (mobility.State, error) {
+	if rng.Float64() < m.failProb {
+		return nil, errInjected
+	}
+	return mobility.Stationary{}.NewState(rng, reg, n)
+}
+
+// escapingModel places nodes outside the declared region — a contract
+// violation by the model. The evaluators do not validate positions per step
+// (that would double the cost), but they must not panic or corrupt results.
+type escapingModel struct{}
+
+func (escapingModel) Name() string    { return "escaping" }
+func (escapingModel) Validate() error { return nil }
+
+func (escapingModel) NewState(rng *xrand.Rand, reg geom.Region, n int) (mobility.State, error) {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: reg.L * 10 * rng.Float64(), Y: -reg.L * rng.Float64()}
+	}
+	return &escapingState{pts: pts, rng: rng, reg: reg}, nil
+}
+
+type escapingState struct {
+	pts []geom.Point
+	rng *xrand.Rand
+	reg geom.Region
+}
+
+func (s *escapingState) Positions() []geom.Point { return s.pts }
+func (s *escapingState) Step() {
+	for i := range s.pts {
+		s.pts[i].X += s.reg.L * (s.rng.Float64() - 0.5)
+	}
+}
+
+func TestEvaluatorsSurfaceModelErrors(t *testing.T) {
+	net := Network{Nodes: 10, Region: geom.MustRegion(100, 2), Model: failingModel{failProb: 1}}
+	cfg := RunConfig{Iterations: 4, Steps: 5, Seed: 1, Workers: 2}
+
+	if _, err := EstimateRanges(net, cfg, PaperTargets()); !errors.Is(err, errInjected) {
+		t.Errorf("EstimateRanges returned %v, want injected error", err)
+	}
+	if _, err := EvaluateFixedRange(net, cfg, 10); !errors.Is(err, errInjected) {
+		t.Errorf("EvaluateFixedRange returned %v, want injected error", err)
+	}
+	if _, err := DirectFixedRange(net, cfg, 10); !errors.Is(err, errInjected) {
+		t.Errorf("DirectFixedRange returned %v, want injected error", err)
+	}
+	if _, err := EvaluateStructure(net, cfg, 10); !errors.Is(err, errInjected) {
+		t.Errorf("EvaluateStructure returned %v, want injected error", err)
+	}
+}
+
+func TestIntermittentFailureStillErrors(t *testing.T) {
+	// Even if only some iterations fail, the run must report failure rather
+	// than return partial results.
+	net := Network{Nodes: 10, Region: geom.MustRegion(100, 2), Model: failingModel{failProb: 0.5}}
+	cfg := RunConfig{Iterations: 16, Steps: 3, Seed: 3, Workers: 4}
+	if _, err := EstimateRanges(net, cfg, PaperTargets()); !errors.Is(err, errInjected) {
+		t.Errorf("intermittent failure not surfaced: %v", err)
+	}
+}
+
+func TestEscapingModelDoesNotPanic(t *testing.T) {
+	// Out-of-region positions are a model bug, but evaluation must stay
+	// total: distances remain finite, so profiles and graphs still make
+	// sense geometrically.
+	net := Network{Nodes: 8, Region: geom.MustRegion(50, 2), Model: escapingModel{}}
+	cfg := RunConfig{Iterations: 2, Steps: 10, Seed: 5}
+	est, err := EstimateRanges(net, cfg, RangeTargets{TimeFractions: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Time[0].Mean <= 0 {
+		t.Fatalf("degenerate estimate %v", est.Time[0].Mean)
+	}
+	if _, err := EvaluateFixedRange(net, cfg, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroNodesFixedRange(t *testing.T) {
+	// n = 0 is a valid (empty) network: always trivially connected.
+	net := Network{Nodes: 0, Region: geom.MustRegion(100, 2), Model: mobility.Stationary{}}
+	cfg := RunConfig{Iterations: 2, Steps: 3, Seed: 1}
+	res, err := EvaluateFixedRange(net, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConnectedFraction != 1 {
+		t.Fatalf("empty network connected fraction = %v", res.ConnectedFraction)
+	}
+	if res.MinLargest != 0 {
+		t.Fatalf("empty network min largest = %d", res.MinLargest)
+	}
+}
+
+func TestSingleNodeFixedRange(t *testing.T) {
+	net := Network{Nodes: 1, Region: geom.MustRegion(100, 2), Model: mobility.Stationary{}}
+	cfg := RunConfig{Iterations: 2, Steps: 3, Seed: 1}
+	res, err := EvaluateFixedRange(net, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConnectedFraction != 1 || res.MinLargest != 1 {
+		t.Fatalf("single-node network: %+v", res)
+	}
+}
+
+func TestWorkerCountExceedingIterations(t *testing.T) {
+	net := Network{Nodes: 6, Region: geom.MustRegion(100, 2), Model: mobility.Stationary{}}
+	cfg := RunConfig{Iterations: 2, Steps: 2, Seed: 1, Workers: 64}
+	if _, err := EvaluateFixedRange(net, cfg, 10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"adhocnet/internal/graph"
+	"adhocnet/internal/stats"
+	"adhocnet/internal/xrand"
+)
+
+// IterationResult holds the paper simulator's outputs for one iteration at
+// one transmitting range.
+type IterationResult struct {
+	// ConnectedFraction is the fraction of evaluated snapshots whose
+	// communication graph was connected.
+	ConnectedFraction float64
+	// AvgLargestDisconnected is the average size of the largest connected
+	// component over the disconnected snapshots (the paper's convention);
+	// NaN when every snapshot was connected.
+	AvgLargestDisconnected float64
+	// MinLargest is the minimum size of the largest connected component over
+	// all snapshots.
+	MinLargest int
+	// Intervals summarizes the maximal runs of consecutive disconnected
+	// snapshots — the network-availability view of Section 1.
+	Intervals IntervalStats
+}
+
+// IntervalStats describes the disconnection intervals (outages) of one
+// simulated trajectory.
+type IntervalStats struct {
+	// Count is the number of maximal disconnected runs.
+	Count int
+	// MeanLength and MaxLength are in snapshots; MeanLength is NaN when
+	// Count is 0.
+	MeanLength float64
+	MaxLength  int
+}
+
+// FixedRangeResult aggregates a fixed-range simulation across iterations.
+type FixedRangeResult struct {
+	Radius float64
+	// ConnectedFraction is the overall fraction of connected snapshots.
+	ConnectedFraction float64
+	// AvgLargestDisconnected is the average largest-component size over all
+	// disconnected snapshots of all iterations (NaN if none), and
+	// AvgLargestFraction the same divided by the node count.
+	AvgLargestDisconnected float64
+	AvgLargestFraction     float64
+	// MinLargest is the minimum largest-component size seen anywhere.
+	MinLargest int
+	// PerIteration holds the per-iteration results.
+	PerIteration []IterationResult
+}
+
+// EvaluateFixedRanges simulates the network once and reports the paper
+// simulator's outputs for every requested transmitting range. Each
+// snapshot's connectivity profile answers all ranges at once, so the cost is
+// one trajectory pass regardless of len(radii).
+func EvaluateFixedRanges(net Network, cfg RunConfig, radii []float64) ([]FixedRangeResult, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(radii) == 0 {
+		return nil, fmt.Errorf("core: no radii to evaluate")
+	}
+	for _, r := range radii {
+		if r < 0 || math.IsNaN(r) {
+			return nil, fmt.Errorf("core: invalid radius %v", r)
+		}
+	}
+
+	perIter := make([][]IterationResult, len(radii))
+	for i := range perIter {
+		perIter[i] = make([]IterationResult, cfg.Iterations)
+	}
+
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand) error {
+		accs := make([]fixedAccumulator, len(radii))
+		for i := range accs {
+			accs[i].minLargest = net.Nodes + 1
+		}
+		err := runTrajectory(net, cfg.Steps, rng, func(_ int, p *graph.Profile) {
+			for i, r := range radii {
+				accs[i].observe(p, r)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		for i := range accs {
+			perIter[i][iter] = accs[i].finish()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]FixedRangeResult, len(radii))
+	for i, r := range radii {
+		out[i] = reduceFixed(r, net.Nodes, cfg.Steps, perIter[i])
+	}
+	return out, nil
+}
+
+// EvaluateFixedRange is EvaluateFixedRanges for a single radius.
+func EvaluateFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeResult, error) {
+	res, err := EvaluateFixedRanges(net, cfg, []float64{radius})
+	if err != nil {
+		return FixedRangeResult{}, err
+	}
+	return res[0], nil
+}
+
+// fixedAccumulator folds per-snapshot observations at one radius.
+type fixedAccumulator struct {
+	steps            int
+	connected        int
+	largestDiscSum   float64
+	largestDiscCount int
+	minLargest       int
+
+	intervals   int
+	runLen      int
+	runLenSum   int
+	longestRun  int
+	inDisc      bool
+	prevWasDisc bool
+}
+
+func (a *fixedAccumulator) observe(p *graph.Profile, r float64) {
+	a.steps++
+	largest := p.LargestAt(r)
+	if largest < a.minLargest {
+		a.minLargest = largest
+	}
+	if p.ConnectedAt(r) {
+		a.connected++
+		if a.inDisc {
+			a.inDisc = false
+		}
+		return
+	}
+	a.largestDiscSum += float64(largest)
+	a.largestDiscCount++
+	if !a.inDisc {
+		a.inDisc = true
+		a.intervals++
+		a.runLen = 0
+	}
+	a.runLen++
+	a.runLenSum++
+	if a.runLen > a.longestRun {
+		a.longestRun = a.runLen
+	}
+}
+
+func (a *fixedAccumulator) finish() IterationResult {
+	res := IterationResult{
+		ConnectedFraction: float64(a.connected) / float64(a.steps),
+		MinLargest:        a.minLargest,
+		Intervals: IntervalStats{
+			Count:     a.intervals,
+			MaxLength: a.longestRun,
+		},
+	}
+	if a.largestDiscCount > 0 {
+		res.AvgLargestDisconnected = a.largestDiscSum / float64(a.largestDiscCount)
+	} else {
+		res.AvgLargestDisconnected = math.NaN()
+	}
+	if a.intervals > 0 {
+		res.Intervals.MeanLength = float64(a.runLenSum) / float64(a.intervals)
+	} else {
+		res.Intervals.MeanLength = math.NaN()
+	}
+	return res
+}
+
+func reduceFixed(r float64, nodes, steps int, iters []IterationResult) FixedRangeResult {
+	out := FixedRangeResult{
+		Radius:       r,
+		MinLargest:   nodes + 1,
+		PerIteration: iters,
+	}
+	var connAcc stats.Accumulator
+	discSum := 0.0
+	discWeight := 0.0
+	for _, it := range iters {
+		connAcc.Add(it.ConnectedFraction)
+		if !math.IsNaN(it.AvgLargestDisconnected) {
+			// Weight by the number of disconnected snapshots so the overall
+			// average matches a flat average over all disconnected graphs.
+			w := (1 - it.ConnectedFraction) * float64(steps)
+			discSum += it.AvgLargestDisconnected * w
+			discWeight += w
+		}
+		if it.MinLargest < out.MinLargest {
+			out.MinLargest = it.MinLargest
+		}
+	}
+	out.ConnectedFraction = connAcc.Mean()
+	if discWeight > 0 {
+		out.AvgLargestDisconnected = discSum / discWeight
+		out.AvgLargestFraction = out.AvgLargestDisconnected / float64(nodes)
+	} else {
+		out.AvgLargestDisconnected = math.NaN()
+		out.AvgLargestFraction = math.NaN()
+	}
+	if out.MinLargest > nodes {
+		out.MinLargest = nodes
+	}
+	return out
+}
+
+// DirectFixedRange is the reference implementation of EvaluateFixedRange: it
+// rebuilds the communication graph explicitly at the given radius after
+// every mobility step, exactly as the paper's simulator did, instead of
+// deriving connectivity from MST profiles. It exists for cross-validation
+// (the two must agree bit-for-bit on the same seed) and for the
+// profile-vs-direct ablation benchmark.
+func DirectFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeResult, error) {
+	if err := net.Validate(); err != nil {
+		return FixedRangeResult{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return FixedRangeResult{}, err
+	}
+	if radius < 0 || math.IsNaN(radius) {
+		return FixedRangeResult{}, fmt.Errorf("core: invalid radius %v", radius)
+	}
+
+	iters := make([]IterationResult, cfg.Iterations)
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand) error {
+		state, err := net.Model.NewState(rng, net.Region, net.Nodes)
+		if err != nil {
+			return err
+		}
+		acc := fixedAccumulator{minLargest: net.Nodes + 1}
+		for t := 0; t < cfg.Steps; t++ {
+			if t > 0 {
+				state.Step()
+			}
+			g := graph.BuildPointGraph(state.Positions(), net.Region.Dim, radius)
+			acc.observeDirect(g)
+		}
+		iters[iter] = acc.finish()
+		return nil
+	})
+	if err != nil {
+		return FixedRangeResult{}, err
+	}
+	return reduceFixed(radius, net.Nodes, cfg.Steps, iters), nil
+}
+
+// observeDirect is observe for an explicitly built communication graph.
+func (a *fixedAccumulator) observeDirect(g *graph.Adjacency) {
+	a.steps++
+	largest := g.LargestComponentSize()
+	if largest < a.minLargest {
+		a.minLargest = largest
+	}
+	if g.Connected() {
+		a.connected++
+		a.inDisc = false
+		return
+	}
+	a.largestDiscSum += float64(largest)
+	a.largestDiscCount++
+	if !a.inDisc {
+		a.inDisc = true
+		a.intervals++
+		a.runLen = 0
+	}
+	a.runLen++
+	a.runLenSum++
+	if a.runLen > a.longestRun {
+		a.longestRun = a.runLen
+	}
+}

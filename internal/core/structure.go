@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"adhocnet/internal/graph"
+	"adhocnet/internal/stats"
+	"adhocnet/internal/xrand"
+)
+
+// StructureResult aggregates structural properties of the communication
+// graph over a simulated trajectory at a fixed transmitting range: degree
+// (interference/capacity proxy), isolated-node counts (the paper's
+// explanation for why disconnection at r_90 is benign), multi-hop path
+// statistics, and single-point-of-failure counts.
+type StructureResult struct {
+	Radius float64
+	// MeanDegree is the average node degree over all snapshots.
+	MeanDegree float64
+	// MeanIsolated is the average number of degree-zero nodes per snapshot.
+	MeanIsolated float64
+	// IsolatedOnlyFraction is, among disconnected snapshots, the fraction
+	// whose disconnection is explained by isolated nodes alone (removing
+	// them leaves one connected component). The paper's Figures 4-5 argue
+	// this is the dominant failure mode at r_90.
+	IsolatedOnlyFraction float64
+	// MeanDiameter and MeanHops describe shortest paths within the largest
+	// component (snapshot averages).
+	MeanDiameter float64
+	MeanHops     float64
+	// MeanArticulation is the average number of cut vertices per snapshot.
+	MeanArticulation float64
+	// BiconnectedFraction is the fraction of snapshots whose graph survives
+	// any single node failure.
+	BiconnectedFraction float64
+	// Snapshots is the number of evaluated snapshots.
+	Snapshots int
+}
+
+// EvaluateStructure simulates the network and measures graph-structure
+// metrics at the given transmitting range. It rebuilds the explicit
+// communication graph per snapshot (the profile shortcut cannot answer
+// degree or hop questions).
+func EvaluateStructure(net Network, cfg RunConfig, radius float64) (StructureResult, error) {
+	if err := net.Validate(); err != nil {
+		return StructureResult{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return StructureResult{}, err
+	}
+	if radius < 0 || math.IsNaN(radius) {
+		return StructureResult{}, fmt.Errorf("core: invalid radius %v", radius)
+	}
+
+	type iterAcc struct {
+		degree, isolated, diameter, hops, articulation stats.Accumulator
+		biconnected                                    int
+		disconnected                                   int
+		isolatedOnly                                   int
+		snapshots                                      int
+	}
+	accs := make([]iterAcc, cfg.Iterations)
+
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand) error {
+		state, err := net.Model.NewState(rng, net.Region, net.Nodes)
+		if err != nil {
+			return err
+		}
+		acc := &accs[iter]
+		for t := 0; t < cfg.Steps; t++ {
+			if t > 0 {
+				state.Step()
+			}
+			g := graph.BuildPointGraph(state.Positions(), net.Region.Dim, radius)
+			acc.snapshots++
+			ds := g.DegreeStats()
+			acc.degree.Add(ds.Mean)
+			acc.isolated.Add(float64(ds.Isolated))
+			_, sizes := g.Components()
+			if len(sizes) > 1 {
+				acc.disconnected++
+				// Disconnection is "isolated-only" when every component but
+				// the largest is a singleton.
+				largest, nonSingleton := 0, 0
+				for _, s := range sizes {
+					if s > largest {
+						largest = s
+					}
+					if s > 1 {
+						nonSingleton++
+					}
+				}
+				if nonSingleton <= 1 {
+					acc.isolatedOnly++
+				}
+			}
+			hs := g.HopStats()
+			acc.diameter.Add(float64(hs.Diameter))
+			acc.hops.Add(hs.MeanHops)
+			acc.articulation.Add(float64(len(g.ArticulationPoints())))
+			if g.IsBiconnected() {
+				acc.biconnected++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return StructureResult{}, err
+	}
+
+	var out StructureResult
+	out.Radius = radius
+	var degree, isolated, diameter, hops, articulation stats.Accumulator
+	biconnected, snapshots := 0, 0
+	disconnected, isolatedOnly := 0, 0
+	for i := range accs {
+		degree.Merge(&accs[i].degree)
+		isolated.Merge(&accs[i].isolated)
+		diameter.Merge(&accs[i].diameter)
+		hops.Merge(&accs[i].hops)
+		articulation.Merge(&accs[i].articulation)
+		biconnected += accs[i].biconnected
+		snapshots += accs[i].snapshots
+		disconnected += accs[i].disconnected
+		isolatedOnly += accs[i].isolatedOnly
+	}
+	out.MeanDegree = degree.Mean()
+	out.MeanIsolated = isolated.Mean()
+	out.MeanDiameter = diameter.Mean()
+	out.MeanHops = hops.Mean()
+	out.MeanArticulation = articulation.Mean()
+	out.Snapshots = snapshots
+	if snapshots > 0 {
+		out.BiconnectedFraction = float64(biconnected) / float64(snapshots)
+	}
+	if disconnected > 0 {
+		out.IsolatedOnlyFraction = float64(isolatedOnly) / float64(disconnected)
+	} else {
+		out.IsolatedOnlyFraction = math.NaN()
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"adhocnet/internal/mobility"
+)
+
+func TestEvaluateStructureDegenerateRadii(t *testing.T) {
+	net := testNetwork(200, 12, mobility.Stationary{})
+	cfg := RunConfig{Iterations: 3, Steps: 5, Seed: 2}
+
+	// At radius 0 everything is isolated: degree 0, no biconnectivity... in
+	// fact a graph of isolated nodes has no connected pairs at all.
+	res, err := EvaluateStructure(net, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanDegree != 0 || res.MeanIsolated != float64(net.Nodes) {
+		t.Fatalf("zero radius: degree %v isolated %v", res.MeanDegree, res.MeanIsolated)
+	}
+	if res.MeanDiameter != 0 || res.MeanHops != 0 {
+		t.Fatalf("zero radius: hops should be zero, got %+v", res)
+	}
+	if res.IsolatedOnlyFraction != 1 {
+		t.Fatalf("zero radius: disconnection should be isolated-only, got %v", res.IsolatedOnlyFraction)
+	}
+
+	// At the diameter the graph is complete: degree n-1, diameter 1,
+	// biconnected, no articulation points.
+	res, err = EvaluateStructure(net, cfg, net.Region.Diameter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanDegree-float64(net.Nodes-1)) > 1e-9 {
+		t.Fatalf("complete graph degree %v", res.MeanDegree)
+	}
+	if res.MeanDiameter != 1 || res.BiconnectedFraction != 1 || res.MeanArticulation != 0 {
+		t.Fatalf("complete graph structure %+v", res)
+	}
+	if !math.IsNaN(res.IsolatedOnlyFraction) {
+		t.Fatalf("no disconnections: IsolatedOnlyFraction should be NaN, got %v", res.IsolatedOnlyFraction)
+	}
+	if res.Snapshots != cfg.Iterations*cfg.Steps {
+		t.Fatalf("snapshots = %d", res.Snapshots)
+	}
+}
+
+func TestEvaluateStructureMonotoneDegree(t *testing.T) {
+	net := testNetwork(256, 16, quickWaypoint(256))
+	cfg := RunConfig{Iterations: 2, Steps: 20, Seed: 5}
+	prev := -1.0
+	for _, r := range []float64{20, 60, 120, 250} {
+		res, err := EvaluateStructure(net, cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanDegree < prev {
+			t.Fatalf("mean degree decreased at r=%v", r)
+		}
+		prev = res.MeanDegree
+	}
+}
+
+func TestEvaluateStructureValidation(t *testing.T) {
+	net := testNetwork(100, 10, mobility.Stationary{})
+	cfg := RunConfig{Iterations: 1, Steps: 1, Seed: 1}
+	if _, err := EvaluateStructure(net, cfg, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := EvaluateStructure(net, cfg, math.NaN()); err == nil {
+		t.Error("NaN radius accepted")
+	}
+	if _, err := EvaluateStructure(net, RunConfig{}, 1); err == nil {
+		t.Error("bad config accepted")
+	}
+	bad := net
+	bad.Model = mobility.Drunkard{M: -1}
+	if _, err := EvaluateStructure(bad, cfg, 1); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestEvaluateStructureDeterministicAcrossWorkers(t *testing.T) {
+	net := testNetwork(256, 14, quickWaypoint(256))
+	a, err := EvaluateStructure(net, RunConfig{Iterations: 4, Steps: 15, Seed: 9, Workers: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateStructure(net, RunConfig{Iterations: 4, Steps: 15, Seed: 9, Workers: 4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MeanDegree-b.MeanDegree) > 1e-9 ||
+		math.Abs(a.MeanHops-b.MeanHops) > 1e-9 ||
+		a.BiconnectedFraction != b.BiconnectedFraction {
+		t.Fatalf("results differ across worker counts: %+v vs %+v", a, b)
+	}
+}

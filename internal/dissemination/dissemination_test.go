@@ -1,0 +1,149 @@
+package dissemination
+
+import (
+	"math"
+	"testing"
+
+	"adhocnet/internal/core"
+	"adhocnet/internal/geom"
+	"adhocnet/internal/mobility"
+)
+
+func testNet(l float64, n int, m mobility.Model) core.Network {
+	return core.Network{Nodes: n, Region: geom.MustRegion(l, 2), Model: m}
+}
+
+func TestValidation(t *testing.T) {
+	net := testNet(100, 8, mobility.Stationary{})
+	run := core.RunConfig{Iterations: 2, Steps: 1, Seed: 1}
+	bad := []Config{
+		{Radius: -1, TargetFraction: 1, MaxSteps: 10},
+		{Radius: math.NaN(), TargetFraction: 1, MaxSteps: 10},
+		{Radius: 1, TargetFraction: 0, MaxSteps: 10},
+		{Radius: 1, TargetFraction: 1.5, MaxSteps: 10},
+		{Radius: 1, TargetFraction: 1, MaxSteps: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(net, run, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Run(testNet(100, 0, mobility.Stationary{}), run,
+		Config{Radius: 1, TargetFraction: 1, MaxSteps: 10}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestFullRangeDeliversInstantly(t *testing.T) {
+	// At the region diameter the graph is complete: the whole network is
+	// informed at step 0.
+	net := testNet(100, 12, mobility.Stationary{})
+	run := core.RunConfig{Iterations: 5, Steps: 1, Seed: 3}
+	res, err := Run(net, run, Config{Radius: 150, TargetFraction: 1, MaxSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 {
+		t.Fatalf("delivered = %v, want 1", res.Delivered)
+	}
+	if res.StepsMean != 0 || res.StepsMax != 0 {
+		t.Fatalf("delivery steps = %v/%v, want 0", res.StepsMean, res.StepsMax)
+	}
+	if !math.IsNaN(res.MeanInformedAtCutoff) {
+		t.Fatal("no censored runs expected")
+	}
+}
+
+func TestZeroRangeStationaryNeverDelivers(t *testing.T) {
+	net := testNet(100, 10, mobility.Stationary{})
+	run := core.RunConfig{Iterations: 4, Steps: 1, Seed: 5}
+	res, err := Run(net, run, Config{Radius: 0, TargetFraction: 0.5, MaxSteps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 {
+		t.Fatalf("delivered = %v, want 0", res.Delivered)
+	}
+	if !math.IsNaN(res.StepsMean) {
+		t.Fatal("no successes: StepsMean should be NaN")
+	}
+	// Only the source is informed.
+	if math.Abs(res.MeanInformedAtCutoff-0.1) > 1e-9 {
+		t.Fatalf("informed at cutoff = %v, want 0.1", res.MeanInformedAtCutoff)
+	}
+}
+
+func TestMobilityFerriesDataBelowConnectivityRange(t *testing.T) {
+	// The paper's data-mule scenario: a range far below r_stationary, at
+	// which the static network essentially never delivers, still reaches
+	// everyone under mobility given time.
+	const l = 400.0
+	const n = 16
+	rs, err := core.RStationary(geom.MustRegion(l, 2), n, 400, 1, 0, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 0.45 * rs
+	run := core.RunConfig{Iterations: 6, Steps: 1, Seed: 9}
+	cfg := Config{Radius: r, TargetFraction: 1, MaxSteps: 3000}
+
+	static, err := Run(testNet(l, n, mobility.Stationary{}), run, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobile, err := Run(testNet(l, n, mobility.Drunkard{PPause: 0.1, M: 0.05 * l}), run, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mobile.Delivered <= static.Delivered && mobile.Delivered < 1 {
+		t.Fatalf("mobility did not help: static %v, mobile %v", static.Delivered, mobile.Delivered)
+	}
+	if mobile.Delivered < 0.9 {
+		t.Fatalf("mobile delivery = %v, want ~1", mobile.Delivered)
+	}
+}
+
+func TestLargerRangeDeliversFaster(t *testing.T) {
+	const l = 400.0
+	const n = 16
+	model := mobility.Drunkard{PPause: 0.1, M: 0.05 * l}
+	run := core.RunConfig{Iterations: 8, Steps: 1, Seed: 11}
+	small, err := Run(testNet(l, n, model), run, Config{Radius: 60, TargetFraction: 0.9, MaxSteps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(testNet(l, n, model), run, Config{Radius: 160, TargetFraction: 0.9, MaxSteps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Delivered < 1 || large.Delivered < 1 {
+		t.Fatalf("deliveries: small %v, large %v", small.Delivered, large.Delivered)
+	}
+	if large.StepsMean >= small.StepsMean {
+		t.Fatalf("larger range not faster: %v vs %v steps", large.StepsMean, small.StepsMean)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	net := testNet(300, 10, mobility.Drunkard{PPause: 0.2, M: 10})
+	run := core.RunConfig{Iterations: 4, Steps: 1, Seed: 21}
+	cfg := Config{Radius: 80, TargetFraction: 0.8, MaxSteps: 500}
+	a, err := Run(net, run, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net, run, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalOrBothNaN := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	if a.Delivered != b.Delivered ||
+		!equalOrBothNaN(a.StepsMean, b.StepsMean) ||
+		!equalOrBothNaN(a.StepsMin, b.StepsMin) ||
+		!equalOrBothNaN(a.StepsMax, b.StepsMax) ||
+		!equalOrBothNaN(a.MeanInformedAtCutoff, b.MeanInformedAtCutoff) {
+		t.Fatalf("runs with identical seeds differ: %+v vs %+v", a, b)
+	}
+}

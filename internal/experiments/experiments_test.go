@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyPreset is small enough to run every experiment in a few seconds.
+func tinyPreset() Preset {
+	return Preset{
+		Name:               "tiny",
+		Iterations:         3,
+		Steps:              60,
+		StationarySamples:  120,
+		Sides:              []float64{256, 1024},
+		StationaryQuantile: 0.99,
+		Seed:               7,
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"quick", "paper"} {
+		p, err := PresetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	paper := Paper()
+	if paper.Iterations != 50 || paper.Steps != 10000 {
+		t.Errorf("paper preset is not the paper's 50x10000: %+v", paper)
+	}
+	if len(paper.Sides) != 4 || paper.Sides[3] != 16384 {
+		t.Errorf("paper sides wrong: %v", paper.Sides)
+	}
+}
+
+func TestPresetValidate(t *testing.T) {
+	bad := []Preset{
+		{Name: "a", Iterations: 0, Steps: 1, StationarySamples: 1, Sides: []float64{10}, StationaryQuantile: 0.9},
+		{Name: "b", Iterations: 1, Steps: 1, StationarySamples: 1, Sides: nil, StationaryQuantile: 0.9},
+		{Name: "c", Iterations: 1, Steps: 1, StationarySamples: 1, Sides: []float64{0.5}, StationaryQuantile: 0.9},
+		{Name: "d", Iterations: 1, Steps: 1, StationarySamples: 1, Sides: []float64{10}, StationaryQuantile: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("preset %q accepted", p.Name)
+		}
+	}
+}
+
+func TestRegistryWellFormed(t *testing.T) {
+	all := All()
+	if len(all) < 11 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "t1", "t2", "t3"} {
+		if !seen[id] {
+			t.Errorf("missing required experiment %q", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig2" {
+		t.Fatalf("ByID returned %q", e.ID)
+	}
+	if _, err := ByID("figX"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestNodesForSide(t *testing.T) {
+	cases := map[float64]int{256: 16, 1024: 32, 4096: 64, 16384: 128}
+	for l, n := range cases {
+		if got := nodesForSide(l); got != n {
+			t.Errorf("nodesForSide(%v) = %d, want %d", l, got, n)
+		}
+	}
+}
+
+func TestSeedForStability(t *testing.T) {
+	p := Quick()
+	if p.seedFor("a") == p.seedFor("b") {
+		t.Error("distinct labels share seeds")
+	}
+	if p.seedFor("a") != p.seedFor("a") {
+		t.Error("seedFor not deterministic")
+	}
+	q := p
+	q.Seed = 2
+	if p.seedFor("a") == q.seedFor("a") {
+		t.Error("preset seed does not influence derived seeds")
+	}
+}
+
+func parseColumn(rows [][]string, col int) []float64 {
+	out := make([]float64, 0, len(rows))
+	for _, row := range rows {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestFig2TinyRun(t *testing.T) {
+	e, err := ByID("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || len(res.Charts) == 0 {
+		t.Fatal("fig2 produced no tables or charts")
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("fig2 table has %d rows, want 2 (one per side)", len(rows))
+	}
+	// Ratio ordering within each row: r100 >= r90 >= r10 >= r0 > 0.
+	for _, row := range rows {
+		vals := parseColumn([][]string{row}, 3)
+		r100 := vals[0]
+		r90 := parseColumn([][]string{row}, 4)[0]
+		r10 := parseColumn([][]string{row}, 5)[0]
+		r0 := parseColumn([][]string{row}, 6)[0]
+		if !(r100 >= r90 && r90 >= r10 && r10 >= r0 && r0 > 0) {
+			t.Fatalf("ratio ordering violated in row %v", row)
+		}
+		// Sanity band: r100/rs should be within (0.5, 3) even at tiny scale.
+		if r100 < 0.5 || r100 > 3 {
+			t.Fatalf("r100/rs = %v implausible", r100)
+		}
+	}
+}
+
+func TestFig6TinyRun(t *testing.T) {
+	e, err := ByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		rl90 := parseColumn([][]string{row}, 2)[0]
+		rl75 := parseColumn([][]string{row}, 3)[0]
+		rl50 := parseColumn([][]string{row}, 4)[0]
+		if !(rl90 >= rl75 && rl75 >= rl50 && rl50 > 0) {
+			t.Fatalf("component ratio ordering violated: %v", row)
+		}
+		if rl90 >= 1.5 {
+			t.Fatalf("rl90/rs = %v should sit clearly below the r100 ratio", rl90)
+		}
+	}
+}
+
+func TestFig7TinyRun(t *testing.T) {
+	e, err := ByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyPreset()
+	res, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 7 { // 0,0.2,0.4,0.5,0.6,0.8,1.0
+		t.Fatalf("fig7 has %d rows", len(rows))
+	}
+	// p_stationary = 1 is the stationary network: its r100/rs must be the
+	// smallest ratio in the sweep (mobility only hurts the 100% target).
+	first := parseColumn(rows, 2)
+	last := first[len(first)-1]
+	for _, v := range first[:len(first)-1] {
+		if last > v+0.15 {
+			t.Fatalf("stationary ratio %v not near the minimum of %v", last, first)
+		}
+	}
+}
+
+func TestT1TinyRun(t *testing.T) {
+	e, err := ByID("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("t1 produced %d tables", len(res.Tables))
+	}
+	// Total variation distances must all be below 0.1.
+	for _, row := range res.Tables[1].Rows {
+		tv := parseColumn([][]string{row}, 4)
+		if len(tv) == 1 && tv[0] > 0.1 {
+			t.Fatalf("limit law TV distance %v too large: %v", tv[0], row)
+		}
+	}
+}
+
+func TestT2TinyRun(t *testing.T) {
+	e, err := ByID("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyPreset()
+	res, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 2*4 { // sides x regimes
+		t.Fatalf("t2 has %d rows", len(rows))
+	}
+	for _, row := range rows {
+		exact := parseColumn([][]string{row}, 5)[0]
+		sim := parseColumn([][]string{row}, 7)[0]
+		if exact < 0 || exact > 1 {
+			t.Fatalf("exact probability %v out of range", exact)
+		}
+		// Simulation within a loose Monte-Carlo band of the exact law.
+		if diff := exact - sim; diff > 0.2 || diff < -0.2 {
+			t.Fatalf("simulated %v far from exact %v: %v", sim, exact, row)
+		}
+		// The c=2 regime must dominate c=0.5 at the same l.
+	}
+	// Check regime separation at the largest l: c=2 connected, c=0.5 not.
+	var pHalf, pTwo float64
+	for _, row := range rows {
+		if row[0] == "1024" {
+			switch row[2] {
+			case "c=0.5":
+				pHalf = parseColumn([][]string{row}, 5)[0]
+			case "c=2":
+				pTwo = parseColumn([][]string{row}, 5)[0]
+			}
+		}
+	}
+	if !(pTwo > 0.9 && pHalf < 0.1) {
+		t.Fatalf("threshold not visible at l=1024: c=2 -> %v, c=0.5 -> %v", pTwo, pHalf)
+	}
+}
+
+func TestT3TinyRun(t *testing.T) {
+	e, err := ByID("t3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		exact := parseColumn([][]string{row}, 5)[0]
+		disc := parseColumn([][]string{row}, 7)[0]
+		if exact <= 0.05 {
+			t.Fatalf("P(E^{10*1}) = %v should be bounded away from 0 (Theorem 4): %v", exact, row)
+		}
+		if disc+0.05 < exact {
+			t.Fatalf("P(disc)=%v below P(E)=%v violates Lemma 1 beyond MC noise", disc, exact)
+		}
+	}
+}
+
+func TestExtensionsTinyRun(t *testing.T) {
+	for _, id := range []string{"ext-energy", "ext-quantile"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(tinyPreset())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no data", id)
+		}
+	}
+}
+
+func TestEnergySavingsOrdering(t *testing.T) {
+	e, err := ByID("ext-energy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		ratio := parseColumn([][]string{row}, 1)[0]
+		s2 := parseColumn([][]string{row}, 3)[0]
+		s4 := parseColumn([][]string{row}, 5)[0]
+		if ratio > 1+1e-9 {
+			t.Fatalf("target range above r100: %v", row)
+		}
+		if s4+1e-9 < s2 {
+			t.Fatalf("alpha=4 savings %v below alpha=2 savings %v", s4, s2)
+		}
+	}
+}
+
+func TestResultsRenderable(t *testing.T) {
+	// Every experiment's tables and charts must render without panicking
+	// and produce non-empty output.
+	p := tinyPreset()
+	p.Sides = []float64{256}
+	p.Iterations = 2
+	p.Steps = 30
+	p.StationarySamples = 60
+	for _, e := range All() {
+		res, err := e.Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		for _, tb := range res.Tables {
+			if strings.TrimSpace(tb.Markdown()) == "" || strings.TrimSpace(tb.CSV()) == "" {
+				t.Fatalf("%s: empty table render", e.ID)
+			}
+		}
+		for _, ch := range res.Charts {
+			if strings.TrimSpace(ch.ASCII(60, 12)) == "" {
+				t.Fatalf("%s: empty chart render", e.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig3TinyRun(t *testing.T) {
+	e, err := ByID("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		r100 := parseColumn([][]string{row}, 3)[0]
+		r0 := parseColumn([][]string{row}, 6)[0]
+		if !(r100 > r0 && r0 > 0) {
+			t.Fatalf("drunkard ratios implausible: %v", row)
+		}
+	}
+}
+
+func TestFig4And5TinyRun(t *testing.T) {
+	for _, id := range []string{"fig4", "fig5"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(tinyPreset())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, row := range res.Tables[0].Rows {
+			// LCC fractions at r90 >= r10 >= r0, all in (0, 1].
+			vals := make([]float64, 0, 3)
+			for col := 2; col <= 4; col++ {
+				parsed := parseColumn([][]string{row}, col)
+				if len(parsed) == 0 {
+					continue // "-" (never disconnected at r90 in a tiny run)
+				}
+				vals = append(vals, parsed[0])
+			}
+			for i, v := range vals {
+				if v <= 0 || v > 1 {
+					t.Fatalf("%s: LCC fraction %v out of range: %v", id, v, row)
+				}
+				if i > 0 && v > vals[i-1]+1e-9 {
+					t.Fatalf("%s: LCC fractions not decreasing: %v", id, row)
+				}
+			}
+		}
+	}
+}
+
+func TestFig8TinyRun(t *testing.T) {
+	e, err := ByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyPreset()
+	res, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("fig8 has %d rows, want 6", len(rows))
+	}
+	// Pause values are expressed in steps of the simulated horizon.
+	last := parseColumn([][]string{rows[len(rows)-1]}, 0)[0]
+	if last != float64(p.Steps) {
+		t.Fatalf("largest pause %v, want %d", last, p.Steps)
+	}
+	for _, row := range rows {
+		ratio := parseColumn([][]string{row}, 2)[0]
+		if ratio < 0.3 || ratio > 3 {
+			t.Fatalf("fig8 ratio %v implausible: %v", ratio, row)
+		}
+	}
+}
+
+func TestFig9TinyRun(t *testing.T) {
+	e, err := ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 7 {
+		t.Fatalf("fig9 has %d rows, want 7", len(rows))
+	}
+	// Ratios across the speed sweep should vary mildly (paper: nearly
+	// independent of v_max): max/min below 2 even at tiny scale.
+	ratios := parseColumn(rows, 2)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range ratios {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi/lo > 2 {
+		t.Fatalf("fig9 speed sensitivity too strong: %v", ratios)
+	}
+}
+
+func TestExtDirectionTinyRun(t *testing.T) {
+	e, err := ByID("ext-direction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables[0].Rows) != 2 {
+		t.Fatalf("ext-direction rows = %d", len(res.Tables[0].Rows))
+	}
+}
+
+func TestExtStructureTinyRun(t *testing.T) {
+	e, err := ByID("ext-structure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("ext-structure rows = %d", len(rows))
+	}
+	// Mean degree decreases from r100 to r10.
+	d100 := parseColumn([][]string{rows[0]}, 2)[0]
+	d10 := parseColumn([][]string{rows[2]}, 2)[0]
+	if d10 > d100 {
+		t.Fatalf("degree at r10 (%v) exceeds degree at r100 (%v)", d10, d100)
+	}
+}
+
+func TestExt2DTheoryTinyRun(t *testing.T) {
+	e, err := ByID("ext-2dtheory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		simOverInv := parseColumn([][]string{row}, 5)[0]
+		if simOverInv < 0.8 || simOverInv > 1.5 {
+			t.Fatalf("simulation/theory ratio %v outside sanity band: %v", simOverInv, row)
+		}
+	}
+}
+
+func TestExtRangeAssignTinyRun(t *testing.T) {
+	e, err := ByID("ext-rangeassign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		s2 := parseColumn([][]string{row}, 2)[0]
+		s4 := parseColumn([][]string{row}, 3)[0]
+		if s2 <= 0 || s2 >= 1 || s4 <= 0 || s4 >= 1 {
+			t.Fatalf("savings out of (0,1): %v", row)
+		}
+		if s4 < s2 {
+			t.Fatalf("alpha=4 savings %v below alpha=2 savings %v", s4, s2)
+		}
+	}
+}
+
+func TestExtDataMuleTinyRun(t *testing.T) {
+	e, err := ByID("ext-datamule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("ext-datamule rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		delivered := parseColumn([][]string{row}, 2)[0]
+		if delivered < 0 || delivered > 1 {
+			t.Fatalf("delivery fraction %v out of range: %v", delivered, row)
+		}
+	}
+	// r90 must deliver at least as reliably as r0.
+	d90 := parseColumn([][]string{rows[0]}, 2)[0]
+	d0 := parseColumn([][]string{rows[2]}, 2)[0]
+	if d90 < d0 {
+		t.Fatalf("delivery at r90 (%v) below r0 (%v)", d90, d0)
+	}
+}
+
+func TestExtQuantityTinyRun(t *testing.T) {
+	e, err := ByID("ext-quantity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 7 {
+		t.Fatalf("ext-quantity rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		moving := parseColumn([][]string{row}, 1)[0]
+		if moving < 0 || moving > 1 {
+			t.Fatalf("moving fraction %v out of range: %v", moving, row)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package graph implements the communication-graph machinery of the paper:
+// point graphs over node placements, connected-component analysis, and the
+// connectivity profile of a placement (the exact function mapping a
+// transmitting range r to the structure of the induced graph).
+//
+// The paper's central object is G_M(t) = (N, E(t)) with (u,v) in E(t) iff
+// dist(u,v) <= r (Section 2). For a fixed placement, G is monotone in r, so
+// every placement has a critical radius — the bottleneck (longest) edge of
+// the Euclidean minimum spanning tree — below which it is disconnected and at
+// or above which it is connected. The Profile type captures the entire
+// evolution: component count and largest-component size as step functions of
+// r, computed from the MST alone.
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/spatial"
+)
+
+// Edge is a weighted undirected edge between node indices I and J with
+// Euclidean length D.
+type Edge struct {
+	I, J int32
+	D    float64
+}
+
+// UnionFind is a disjoint-set forest with union by size and path compression.
+// The zero value is not usable; construct with NewUnionFind.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+
+	count   int // number of disjoint sets
+	largest int // size of the largest set
+}
+
+// NewUnionFind returns a union-find structure over n singleton elements.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent:  make([]int32, n),
+		size:    make([]int32, n),
+		count:   n,
+		largest: 0,
+	}
+	if n > 0 {
+		uf.largest = 1
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int32) int32 {
+	root := x
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	for uf.parent[x] != root {
+		uf.parent[x], x = root, uf.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing a and b and reports whether a merge
+// actually happened (false if they were already together).
+func (uf *UnionFind) Union(a, b int32) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	uf.count--
+	if int(uf.size[ra]) > uf.largest {
+		uf.largest = int(uf.size[ra])
+	}
+	return true
+}
+
+// Count returns the current number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }
+
+// Largest returns the size of the largest set.
+func (uf *UnionFind) Largest() int { return uf.largest }
+
+// SizeOf returns the size of the set containing x.
+func (uf *UnionFind) SizeOf(x int32) int { return int(uf.size[uf.Find(x)]) }
+
+// Adjacency is a compressed-sparse-row adjacency structure for an undirected
+// graph on nodes 0..N-1.
+type Adjacency struct {
+	N       int
+	offsets []int32 // len N+1
+	nbrs    []int32 // concatenated neighbor lists
+}
+
+// AdjacencyFromEdges builds the adjacency structure from an undirected edge
+// list. Self-loops are ignored; duplicate edges are kept as given.
+func AdjacencyFromEdges(n int, edges []Edge) *Adjacency {
+	a := &Adjacency{N: n, offsets: make([]int32, n+1)}
+	for _, e := range edges {
+		if e.I == e.J {
+			continue
+		}
+		a.offsets[e.I+1]++
+		a.offsets[e.J+1]++
+	}
+	for i := 0; i < n; i++ {
+		a.offsets[i+1] += a.offsets[i]
+	}
+	a.nbrs = make([]int32, a.offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, a.offsets[:n])
+	for _, e := range edges {
+		if e.I == e.J {
+			continue
+		}
+		a.nbrs[cursor[e.I]] = e.J
+		cursor[e.I]++
+		a.nbrs[cursor[e.J]] = e.I
+		cursor[e.J]++
+	}
+	return a
+}
+
+// BuildPointGraph constructs the communication graph of the placement at
+// transmitting range r: edges between all pairs at distance <= r.
+func BuildPointGraph(pts []geom.Point, dim int, r float64) *Adjacency {
+	var edges []Edge
+	spatial.PairsWithin(pts, dim, r, func(i, j int, d2 float64) {
+		edges = append(edges, Edge{I: int32(i), J: int32(j), D: math.Sqrt(d2)})
+	})
+	return AdjacencyFromEdges(len(pts), edges)
+}
+
+// Neighbors returns the neighbor list of node i (shared storage; callers must
+// not modify it).
+func (a *Adjacency) Neighbors(i int) []int32 {
+	return a.nbrs[a.offsets[i]:a.offsets[i+1]]
+}
+
+// Degree returns the number of neighbors of node i.
+func (a *Adjacency) Degree(i int) int {
+	return int(a.offsets[i+1] - a.offsets[i])
+}
+
+// NumEdges returns the number of undirected edges.
+func (a *Adjacency) NumEdges() int { return len(a.nbrs) / 2 }
+
+// IsolatedCount returns the number of degree-zero nodes. An isolated node is
+// the simplest witness of disconnection and the basis of the lower bound in
+// [Santi-Blough-Vainstein '01] that Section 3 of the paper improves upon.
+func (a *Adjacency) IsolatedCount() int {
+	n := 0
+	for i := 0; i < a.N; i++ {
+		if a.Degree(i) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Components labels each node with a component id in [0, k) and returns the
+// labels together with the size of each component, via iterative BFS.
+func (a *Adjacency) Components() (labels []int32, sizes []int) {
+	labels = make([]int32, a.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for start := 0; start < a.N; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		id := int32(len(sizes))
+		labels[start] = id
+		size := 1
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range a.Neighbors(int(u)) {
+				if labels[v] == -1 {
+					labels[v] = id
+					size++
+					queue = append(queue, v)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return labels, sizes
+}
+
+// Connected reports whether the graph is connected. Following the paper's
+// convention, graphs on fewer than two nodes are trivially connected.
+func (a *Adjacency) Connected() bool {
+	if a.N <= 1 {
+		return true
+	}
+	_, sizes := a.Components()
+	return len(sizes) == 1
+}
+
+// LargestComponentSize returns the size of the largest connected component
+// (0 for the empty graph).
+func (a *Adjacency) LargestComponentSize() int {
+	if a.N == 0 {
+		return 0
+	}
+	_, sizes := a.Components()
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// thresholdRadius returns the smallest float64 r such that r*r >= d2, i.e.
+// the exact transmitting range at which a pair with squared distance d2
+// becomes a neighbor pair under the d2 <= r*r inclusion rule used by the
+// point-graph builders. math.Sqrt is correctly rounded, so at most a couple
+// of ulp adjustments are ever needed.
+func thresholdRadius(d2 float64) float64 {
+	r := math.Sqrt(d2)
+	for r*r < d2 {
+		r = math.Nextafter(r, math.Inf(1))
+	}
+	for r > 0 {
+		down := math.Nextafter(r, 0)
+		if down*down >= d2 {
+			r = down
+			continue
+		}
+		break
+	}
+	return r
+}
+
+// PrimMST computes the Euclidean minimum spanning tree of the points with the
+// dense O(n^2)-time, O(n)-space Prim algorithm, the right choice for complete
+// geometric graphs. It returns the n-1 tree edges (nil for n < 2). Edge
+// weights are threshold radii (see thresholdRadius): within one ulp of the
+// Euclidean length, chosen so that the point graph at r contains the edge
+// exactly when r >= the stored weight.
+func PrimMST(pts []geom.Point) []Edge {
+	n := len(pts)
+	if n < 2 {
+		return nil
+	}
+	const unvisited = -1
+	inTree := make([]bool, n)
+	bestDist := make([]float64, n) // squared distance to the tree
+	bestFrom := make([]int32, n)
+	for i := range bestDist {
+		bestDist[i] = math.Inf(1)
+		bestFrom[i] = unvisited
+	}
+	edges := make([]Edge, 0, n-1)
+	current := int32(0)
+	inTree[0] = true
+	for len(edges) < n-1 {
+		// Relax distances through the newly added vertex, then pick the
+		// closest fringe vertex.
+		next := int32(-1)
+		nextDist := math.Inf(1)
+		for v := int32(0); v < int32(n); v++ {
+			if inTree[v] {
+				continue
+			}
+			d2 := geom.Dist2(pts[current], pts[v])
+			if d2 < bestDist[v] {
+				bestDist[v] = d2
+				bestFrom[v] = current
+			}
+			if bestDist[v] < nextDist {
+				nextDist = bestDist[v]
+				next = v
+			}
+		}
+		inTree[next] = true
+		edges = append(edges, Edge{I: bestFrom[next], J: next, D: thresholdRadius(bestDist[next])})
+		current = next
+	}
+	return edges
+}
+
+// MSTBottleneck returns the length of the longest MST edge — the critical
+// transmitting range of the placement: the minimum r for which the point
+// graph is connected. It returns 0 for fewer than two points.
+func MSTBottleneck(pts []geom.Point) float64 {
+	max := 0.0
+	for _, e := range PrimMST(pts) {
+		if e.D > max {
+			max = e.D
+		}
+	}
+	return max
+}
+
+// Profile is the connectivity profile of a placement: the exact step
+// functions r -> number of components and r -> largest-component size, plus
+// the critical radius. It is derived from the MST: running Kruskal over all
+// pairwise edges performs a union exactly at each MST edge weight, so the MST
+// edges sorted by length are a complete record of the component evolution.
+type Profile struct {
+	n int
+	// mergeRadii[k] is the radius of the k-th merge event (ascending); after
+	// event k there are n-(k+1) components.
+	mergeRadii []float64
+	// largestAfter[k] is the largest component size after event k.
+	largestAfter []int32
+}
+
+// NewProfile computes the connectivity profile of the points (any dimension).
+// Cost: O(n^2) time for the MST plus O(n log n) for the sweep.
+func NewProfile(pts []geom.Point) *Profile {
+	return profileFromMST(len(pts), PrimMST(pts))
+}
+
+// NewProfile1D computes the profile of a 1-dimensional placement in
+// O(n log n) using the fact that the 1-D Euclidean MST is the path through
+// the sorted coordinates, so the merge radii are exactly the gaps between
+// consecutive points.
+func NewProfile1D(xs []float64) *Profile {
+	n := len(xs)
+	if n < 2 {
+		return &Profile{n: n}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	edges := make([]Edge, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = Edge{I: int32(i), J: int32(i + 1), D: sorted[i+1] - sorted[i]}
+	}
+	return profileFromMST(n, edges)
+}
+
+// profileFromMST replays the n-1 MST edges in length order through a
+// union-find, recording the component evolution.
+func profileFromMST(n int, mst []Edge) *Profile {
+	p := &Profile{n: n}
+	if n < 2 {
+		return p
+	}
+	edges := make([]Edge, len(mst))
+	copy(edges, mst)
+	sort.Slice(edges, func(a, b int) bool { return edges[a].D < edges[b].D })
+	uf := NewUnionFind(n)
+	p.mergeRadii = make([]float64, 0, n-1)
+	p.largestAfter = make([]int32, 0, n-1)
+	for _, e := range edges {
+		if uf.Union(e.I, e.J) {
+			p.mergeRadii = append(p.mergeRadii, e.D)
+			p.largestAfter = append(p.largestAfter, int32(uf.Largest()))
+		}
+	}
+	return p
+}
+
+// N returns the number of nodes the profile describes.
+func (p *Profile) N() int { return p.n }
+
+// Critical returns the critical transmitting range: the minimum r at which
+// the placement's communication graph is connected (0 for n < 2).
+func (p *Profile) Critical() float64 {
+	if len(p.mergeRadii) == 0 {
+		return 0
+	}
+	return p.mergeRadii[len(p.mergeRadii)-1]
+}
+
+// mergesAt returns how many merge events occur at radius <= r.
+func (p *Profile) mergesAt(r float64) int {
+	return sort.SearchFloat64s(p.mergeRadii, math.Nextafter(r, math.Inf(1)))
+}
+
+// ComponentsAt returns the number of connected components at transmitting
+// range r.
+func (p *Profile) ComponentsAt(r float64) int {
+	if p.n == 0 {
+		return 0
+	}
+	return p.n - p.mergesAt(r)
+}
+
+// ConnectedAt reports whether the placement is connected at range r.
+func (p *Profile) ConnectedAt(r float64) bool {
+	return p.ComponentsAt(r) <= 1
+}
+
+// LargestAt returns the size of the largest connected component at range r.
+func (p *Profile) LargestAt(r float64) int {
+	if p.n == 0 {
+		return 0
+	}
+	k := p.mergesAt(r)
+	if k == 0 {
+		return 1
+	}
+	return int(p.largestAfter[k-1])
+}
+
+// RadiusForLargest returns the smallest transmitting range at which the
+// largest component reaches at least size. It returns 0 when size <= 1 and
+// +Inf when size exceeds the node count.
+func (p *Profile) RadiusForLargest(size int) float64 {
+	if size <= 1 {
+		return 0
+	}
+	if size > p.n {
+		return math.Inf(1)
+	}
+	// largestAfter is non-decreasing; binary search the first event reaching
+	// the target.
+	lo, hi := 0, len(p.largestAfter)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(p.largestAfter[mid]) >= size {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if int(p.largestAfter[lo]) < size {
+		return math.Inf(1)
+	}
+	return p.mergeRadii[lo]
+}
+
+// MergeRadii returns the sorted radii of the merge events (shared storage;
+// callers must not modify it). The last entry is the critical radius.
+func (p *Profile) MergeRadii() []float64 { return p.mergeRadii }

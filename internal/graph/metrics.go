@@ -1,0 +1,293 @@
+package graph
+
+// Structural metrics of communication graphs beyond bare connectivity. The
+// paper motivates them throughout: node degree governs interference and
+// capacity (its reference to Gupta-Kumar's capacity result), multi-hop path
+// lengths are the defining property of ad hoc networks ("messages typically
+// require multiple hops"), and articulation points are the single points of
+// failure a dependability evaluation cares about.
+
+import "math"
+
+// DegreeStats summarizes the degree sequence of a graph.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	// Isolated is the number of degree-zero nodes.
+	Isolated int
+}
+
+// Degrees returns the per-node degree statistics.
+func (a *Adjacency) DegreeStats() DegreeStats {
+	if a.N == 0 {
+		return DegreeStats{}
+	}
+	ds := DegreeStats{Min: a.N}
+	total := 0
+	for i := 0; i < a.N; i++ {
+		d := a.Degree(i)
+		total += d
+		if d < ds.Min {
+			ds.Min = d
+		}
+		if d > ds.Max {
+			ds.Max = d
+		}
+		if d == 0 {
+			ds.Isolated++
+		}
+	}
+	ds.Mean = float64(total) / float64(a.N)
+	return ds
+}
+
+// BFSDistances returns the hop distance from start to every node, with -1
+// for unreachable nodes.
+func (a *Adjacency) BFSDistances(start int) []int32 {
+	dist := make([]int32, a.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if start < 0 || start >= a.N {
+		return dist
+	}
+	dist[start] = 0
+	queue := make([]int32, 0, a.N)
+	queue = append(queue, int32(start))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range a.Neighbors(int(u)) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// HopStats describes the multi-hop structure of a graph: the diameter (the
+// longest shortest path in hops) and the mean shortest-path length, both
+// taken over connected node pairs only. Pairs reports how many ordered pairs
+// were reachable.
+type HopStats struct {
+	Diameter int
+	MeanHops float64
+	Pairs    int
+}
+
+// HopStats computes hop statistics by running a BFS from every node
+// (O(n*(n+m)), fine for the paper's n <= a few hundred). Graphs with no
+// connected pairs report zero values.
+func (a *Adjacency) HopStats() HopStats {
+	var hs HopStats
+	total := 0
+	for s := 0; s < a.N; s++ {
+		for _, d := range a.BFSDistances(s) {
+			if d <= 0 { // unreachable or self
+				continue
+			}
+			hs.Pairs++
+			total += int(d)
+			if int(d) > hs.Diameter {
+				hs.Diameter = int(d)
+			}
+		}
+	}
+	if hs.Pairs > 0 {
+		hs.MeanHops = float64(total) / float64(hs.Pairs)
+	}
+	return hs
+}
+
+// ArticulationPoints returns the cut vertices of the graph: nodes whose
+// removal increases the number of connected components. They are the single
+// points of failure of the network. The implementation is an iterative
+// Tarjan lowlink computation (no recursion, so deep paths cannot overflow
+// the stack).
+func (a *Adjacency) ArticulationPoints() []int {
+	n := a.N
+	disc := make([]int32, n) // discovery times, 0 = unvisited
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	childCount := make([]int32, n)
+	isCut := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	timer := int32(0)
+
+	type frame struct {
+		node    int32
+		nextIdx int32
+	}
+	stack := make([]frame, 0, n)
+
+	for root := 0; root < n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		timer++
+		disc[root] = timer
+		low[root] = timer
+		stack = append(stack[:0], frame{node: int32(root)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nbrs := a.Neighbors(int(f.node))
+			if int(f.nextIdx) < len(nbrs) {
+				v := nbrs[f.nextIdx]
+				f.nextIdx++
+				if disc[v] == 0 {
+					parent[v] = f.node
+					childCount[f.node]++
+					timer++
+					disc[v] = timer
+					low[v] = timer
+					stack = append(stack, frame{node: v})
+				} else if v != parent[f.node] {
+					if disc[v] < low[f.node] {
+						low[f.node] = disc[v]
+					}
+				}
+				continue
+			}
+			// Post-order: propagate lowlink to the parent.
+			stack = stack[:len(stack)-1]
+			u := f.node
+			p := parent[u]
+			if p >= 0 {
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+				if int(p) != root && low[u] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		if childCount[root] >= 2 {
+			isCut[root] = true
+		}
+	}
+
+	var cuts []int
+	for i, c := range isCut {
+		if c {
+			cuts = append(cuts, i)
+		}
+	}
+	return cuts
+}
+
+// Bridges returns the cut edges of the graph: edges whose removal increases
+// the number of connected components. Together with articulation points they
+// locate the fragile links of a topology. Each bridge is reported once with
+// I < J. The implementation reuses the iterative lowlink computation of
+// ArticulationPoints.
+func (a *Adjacency) Bridges() []Edge {
+	n := a.N
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	// parentEdgeUsed marks that one copy of the tree edge to the parent has
+	// been consumed, so parallel edges are not both skipped.
+	parentEdgeUsed := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	timer := int32(0)
+
+	type frame struct {
+		node    int32
+		nextIdx int32
+	}
+	stack := make([]frame, 0, n)
+	var bridges []Edge
+
+	for root := 0; root < n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		timer++
+		disc[root] = timer
+		low[root] = timer
+		stack = append(stack[:0], frame{node: int32(root)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nbrs := a.Neighbors(int(f.node))
+			if int(f.nextIdx) < len(nbrs) {
+				v := nbrs[f.nextIdx]
+				f.nextIdx++
+				switch {
+				case disc[v] == 0:
+					parent[v] = f.node
+					timer++
+					disc[v] = timer
+					low[v] = timer
+					stack = append(stack, frame{node: v})
+				case v == parent[f.node] && !parentEdgeUsed[f.node]:
+					// First sighting of the tree edge back to the parent:
+					// not a back edge.
+					parentEdgeUsed[f.node] = true
+				default:
+					if disc[v] < low[f.node] {
+						low[f.node] = disc[v]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			u := f.node
+			p := parent[u]
+			if p >= 0 {
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+				if low[u] > disc[p] {
+					i, j := p, u
+					if i > j {
+						i, j = j, i
+					}
+					bridges = append(bridges, Edge{I: i, J: j})
+				}
+			}
+		}
+	}
+	return bridges
+}
+
+// IsBiconnected reports whether the graph is connected and free of
+// articulation points (2-connected for n >= 3): it survives any single node
+// failure. Graphs with fewer than 3 nodes follow the usual convention:
+// connected graphs of size <= 2 are biconnected.
+func (a *Adjacency) IsBiconnected() bool {
+	if !a.Connected() {
+		return false
+	}
+	if a.N <= 2 {
+		return true
+	}
+	return len(a.ArticulationPoints()) == 0
+}
+
+// EdgeLengthStats summarizes the Euclidean lengths of a set of edges (for
+// example a spanning tree): total weight, longest edge, mean edge.
+type EdgeLengthStats struct {
+	Total, Max, Mean float64
+}
+
+// LengthStats computes edge-length statistics over the slice.
+func LengthStats(edges []Edge) EdgeLengthStats {
+	var s EdgeLengthStats
+	if len(edges) == 0 {
+		return s
+	}
+	s.Max = math.Inf(-1)
+	for _, e := range edges {
+		s.Total += e.D
+		if e.D > s.Max {
+			s.Max = e.D
+		}
+	}
+	s.Mean = s.Total / float64(len(edges))
+	return s
+}

@@ -1,0 +1,138 @@
+package graph
+
+// Property-based tests (testing/quick) on the core graph invariants.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// randomPlacement derives a reproducible random placement from a seed.
+func randomPlacement(seed uint64, maxN int, dim int) []geom.Point {
+	rng := xrand.New(seed)
+	n := 2 + rng.Intn(maxN-1)
+	reg := geom.MustRegion(100, dim)
+	return reg.UniformPoints(rng, n)
+}
+
+func TestPropertyUnionFindMatchesBFS(t *testing.T) {
+	f := func(seed uint64, rRaw uint8) bool {
+		pts := randomPlacement(seed, 40, 2)
+		r := float64(rRaw) // 0..255, spans sub- to super-critical
+		var edges []Edge
+		spatialEdges := func() {
+			for i := 0; i < len(pts); i++ {
+				for j := i + 1; j < len(pts); j++ {
+					if geom.Dist(pts[i], pts[j]) <= r {
+						edges = append(edges, Edge{int32(i), int32(j), 0})
+					}
+				}
+			}
+		}
+		spatialEdges()
+		uf := NewUnionFind(len(pts))
+		for _, e := range edges {
+			uf.Union(e.I, e.J)
+		}
+		adj := AdjacencyFromEdges(len(pts), edges)
+		_, sizes := adj.Components()
+		if uf.Count() != len(sizes) {
+			return false
+		}
+		if uf.Largest() != adj.LargestComponentSize() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLargestMonotoneInRadius(t *testing.T) {
+	f := func(seed uint64) bool {
+		pts := randomPlacement(seed, 30, 2)
+		p := NewProfile(pts)
+		prevLargest, prevComp := 0, len(pts)+1
+		for r := 0.0; r <= 150; r += 3.7 {
+			largest := p.LargestAt(r)
+			comp := p.ComponentsAt(r)
+			if largest < prevLargest || comp > prevComp {
+				return false
+			}
+			prevLargest, prevComp = largest, comp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyProfileConsistency(t *testing.T) {
+	// components + (largest - 1) <= n, largest*components >= n at any r.
+	f := func(seed uint64, rRaw uint8) bool {
+		pts := randomPlacement(seed, 30, 3)
+		p := NewProfile(pts)
+		r := float64(rRaw)
+		n := len(pts)
+		largest := p.LargestAt(r)
+		comp := p.ComponentsAt(r)
+		if largest < 1 || largest > n || comp < 1 || comp > n {
+			return false
+		}
+		// The largest component plus one node for every other component
+		// cannot exceed n; all components together must cover n.
+		if largest+(comp-1) > n {
+			return false
+		}
+		if largest*comp < n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMSTEdgeCount(t *testing.T) {
+	f := func(seed uint64) bool {
+		pts := randomPlacement(seed, 50, 2)
+		mst := PrimMST(pts)
+		if len(mst) != len(pts)-1 {
+			return false
+		}
+		// The MST must connect everything.
+		uf := NewUnionFind(len(pts))
+		for _, e := range mst {
+			uf.Union(e.I, e.J)
+		}
+		return uf.Count() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBiconnectedImpliesNoCuts(t *testing.T) {
+	f := func(seed uint64, rRaw uint8) bool {
+		pts := randomPlacement(seed, 25, 2)
+		g := BuildPointGraph(pts, 2, 20+float64(rRaw)/2)
+		bi := g.IsBiconnected()
+		cuts := g.ArticulationPoints()
+		if bi && len(cuts) > 0 {
+			return false
+		}
+		if !g.Connected() && bi {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

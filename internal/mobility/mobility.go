@@ -1,0 +1,378 @@
+// Package mobility implements the node-motion models of the paper's
+// Section 4.1. A Model is a reusable configuration; NewState instantiates the
+// per-run motion state for n nodes in a region, and State.Step advances all
+// nodes by one discrete mobility step.
+//
+// The paper's two models are provided — the random waypoint model of
+// [Johnson-Maltz '96] modeling intentional movement, and the "drunkard" model
+// of non-intentional movement — both extended with the paper's p_stationary
+// parameter (the probability that a node never moves, modeling sensors stuck
+// in vegetation or a mixed fleet of fixed and mobile nodes). A stationary
+// model and a random-direction model (an extension beyond the paper) are also
+// included.
+package mobility
+
+import (
+	"fmt"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// Model is a mobility-model configuration that can mint fresh motion state.
+// Implementations are small value types safe to copy and reuse across runs.
+type Model interface {
+	// Name returns a short identifier used in reports ("waypoint",
+	// "drunkard", ...).
+	Name() string
+	// Validate checks the configuration parameters.
+	Validate() error
+	// NewState draws initial node positions (independent and uniform in the
+	// region, as the paper's simulator does) and returns the motion state.
+	// The state owns the provided generator.
+	NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error)
+}
+
+// State is the evolving position state of one simulation run.
+type State interface {
+	// Positions returns the current node positions. The slice is live: it is
+	// updated in place by Step, and callers must not modify it.
+	Positions() []geom.Point
+	// Step advances every node by one mobility step.
+	Step()
+}
+
+// Stationary is the degenerate model in which no node ever moves; it
+// reproduces the paper's stationary simulations (#steps = 1).
+type Stationary struct{}
+
+// Name implements Model.
+func (Stationary) Name() string { return "stationary" }
+
+// Validate implements Model.
+func (Stationary) Validate() error { return nil }
+
+// NewState implements Model.
+func (Stationary) NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	}
+	return &stationaryState{pts: reg.UniformPoints(rng, n)}, nil
+}
+
+type stationaryState struct {
+	pts []geom.Point
+}
+
+func (s *stationaryState) Positions() []geom.Point { return s.pts }
+func (s *stationaryState) Step()                   {}
+
+// RandomWaypoint is the classical random waypoint model with the paper's
+// p_stationary extension: each node (independently, with probability
+// 1-PStationary) repeatedly chooses a destination uniformly at random in the
+// region, moves toward it at a per-leg speed drawn uniformly from
+// [VMin, VMax] distance units per step, pauses for PauseSteps steps upon
+// arrival, and repeats.
+type RandomWaypoint struct {
+	VMin, VMax  float64 // speed range, distance units per mobility step
+	PauseSteps  int     // t_pause, expressed in mobility steps as in the paper
+	PStationary float64 // probability a node remains stationary forever
+}
+
+// Name implements Model.
+func (RandomWaypoint) Name() string { return "waypoint" }
+
+// Validate implements Model.
+func (m RandomWaypoint) Validate() error {
+	if m.VMin < 0 || m.VMax < m.VMin {
+		return fmt.Errorf("mobility: waypoint needs 0 <= VMin <= VMax, got [%v, %v]", m.VMin, m.VMax)
+	}
+	if m.VMax <= 0 {
+		return fmt.Errorf("mobility: waypoint needs VMax > 0, got %v", m.VMax)
+	}
+	if m.PauseSteps < 0 {
+		return fmt.Errorf("mobility: negative pause %d", m.PauseSteps)
+	}
+	if m.PStationary < 0 || m.PStationary > 1 {
+		return fmt.Errorf("mobility: PStationary must be in [0,1], got %v", m.PStationary)
+	}
+	return nil
+}
+
+// NewState implements Model.
+func (m RandomWaypoint) NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	}
+	s := &waypointState{
+		cfg:   m,
+		rng:   rng,
+		reg:   reg,
+		pts:   reg.UniformPoints(rng, n),
+		nodes: make([]waypointNode, n),
+	}
+	for i := range s.nodes {
+		if rng.Bool(m.PStationary) {
+			s.nodes[i].frozen = true
+			continue
+		}
+		s.assignLeg(i)
+	}
+	return s, nil
+}
+
+type waypointNode struct {
+	frozen    bool // never moves (p_stationary)
+	dest      geom.Point
+	speed     float64
+	pauseLeft int
+}
+
+type waypointState struct {
+	cfg   RandomWaypoint
+	rng   *xrand.Rand
+	reg   geom.Region
+	pts   []geom.Point
+	nodes []waypointNode
+}
+
+// assignLeg draws a fresh destination and speed for node i.
+func (s *waypointState) assignLeg(i int) {
+	s.nodes[i].dest = s.reg.UniformPoint(s.rng)
+	if s.cfg.VMax == s.cfg.VMin {
+		s.nodes[i].speed = s.cfg.VMax
+	} else {
+		s.nodes[i].speed = s.rng.Range(s.cfg.VMin, s.cfg.VMax)
+	}
+}
+
+func (s *waypointState) Positions() []geom.Point { return s.pts }
+
+func (s *waypointState) Step() {
+	for i := range s.nodes {
+		nd := &s.nodes[i]
+		if nd.frozen {
+			continue
+		}
+		if nd.pauseLeft > 0 {
+			nd.pauseLeft--
+			if nd.pauseLeft == 0 {
+				s.assignLeg(i)
+			}
+			continue
+		}
+		next, reached := geom.StepToward(s.pts[i], nd.dest, nd.speed)
+		s.pts[i] = next
+		if reached {
+			if s.cfg.PauseSteps > 0 {
+				nd.pauseLeft = s.cfg.PauseSteps
+			} else {
+				s.assignLeg(i)
+			}
+		}
+	}
+}
+
+// Drunkard is the paper's non-intentional motion model: a node that moves at
+// step i jumps to a position chosen uniformly at random in the ball of radius
+// M centered at its current location (clipped to the region); with
+// probability PPause it instead stays put for the step, and with probability
+// PStationary it never moves at all.
+type Drunkard struct {
+	PStationary float64 // probability a node remains stationary forever
+	PPause      float64 // per-step probability that a mobile node does not move
+	M           float64 // step radius ("velocity" knob of the paper)
+}
+
+// Name implements Model.
+func (Drunkard) Name() string { return "drunkard" }
+
+// Validate implements Model.
+func (m Drunkard) Validate() error {
+	if m.PStationary < 0 || m.PStationary > 1 {
+		return fmt.Errorf("mobility: PStationary must be in [0,1], got %v", m.PStationary)
+	}
+	if m.PPause < 0 || m.PPause > 1 {
+		return fmt.Errorf("mobility: PPause must be in [0,1], got %v", m.PPause)
+	}
+	if m.M <= 0 {
+		return fmt.Errorf("mobility: drunkard step radius must be positive, got %v", m.M)
+	}
+	return nil
+}
+
+// NewState implements Model.
+func (m Drunkard) NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	}
+	s := &drunkardState{
+		cfg:    m,
+		rng:    rng,
+		reg:    reg,
+		pts:    reg.UniformPoints(rng, n),
+		frozen: make([]bool, n),
+	}
+	for i := range s.frozen {
+		s.frozen[i] = rng.Bool(m.PStationary)
+	}
+	return s, nil
+}
+
+type drunkardState struct {
+	cfg    Drunkard
+	rng    *xrand.Rand
+	reg    geom.Region
+	pts    []geom.Point
+	frozen []bool
+}
+
+func (s *drunkardState) Positions() []geom.Point { return s.pts }
+
+func (s *drunkardState) Step() {
+	for i := range s.pts {
+		if s.frozen[i] || s.rng.Bool(s.cfg.PPause) {
+			continue
+		}
+		// Sample uniformly in the ball intersected with the region by
+		// rejection; for a node well inside the region this accepts on the
+		// first try. Give up after a bounded number of attempts (possible
+		// only when M is comparable to the region size) and clamp instead.
+		const maxAttempts = 64
+		moved := false
+		for a := 0; a < maxAttempts; a++ {
+			cand := s.reg.UniformInBall(s.rng, s.pts[i], s.cfg.M)
+			if s.reg.Contains(cand) {
+				s.pts[i] = cand
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			s.pts[i] = s.reg.Clamp(s.reg.UniformInBall(s.rng, s.pts[i], s.cfg.M))
+		}
+	}
+}
+
+// RandomDirection is an extension beyond the paper: each mobile node picks a
+// uniform direction and a speed in [VMin, VMax], travels in that direction
+// until it hits the region boundary, pauses for PauseSteps, then picks a new
+// direction. It produces a more uniform spatial distribution than random
+// waypoint (which concentrates nodes in the region center) and is used by the
+// ablation experiments to test the paper's claim that the precise motion
+// pattern barely matters.
+type RandomDirection struct {
+	VMin, VMax  float64
+	PauseSteps  int
+	PStationary float64
+}
+
+// Name implements Model.
+func (RandomDirection) Name() string { return "direction" }
+
+// Validate implements Model.
+func (m RandomDirection) Validate() error {
+	return RandomWaypoint{
+		VMin: m.VMin, VMax: m.VMax,
+		PauseSteps: m.PauseSteps, PStationary: m.PStationary,
+	}.Validate()
+}
+
+// NewState implements Model.
+func (m RandomDirection) NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	}
+	s := &directionState{
+		cfg:   m,
+		rng:   rng,
+		reg:   reg,
+		pts:   reg.UniformPoints(rng, n),
+		nodes: make([]directionNode, n),
+	}
+	for i := range s.nodes {
+		if rng.Bool(m.PStationary) {
+			s.nodes[i].frozen = true
+			continue
+		}
+		s.assignDirection(i)
+	}
+	return s, nil
+}
+
+type directionNode struct {
+	frozen    bool
+	dir       geom.Point
+	speed     float64
+	pauseLeft int
+}
+
+type directionState struct {
+	cfg   RandomDirection
+	rng   *xrand.Rand
+	reg   geom.Region
+	pts   []geom.Point
+	nodes []directionNode
+}
+
+func (s *directionState) assignDirection(i int) {
+	s.nodes[i].dir = s.reg.UnitVector(s.rng)
+	if s.cfg.VMax == s.cfg.VMin {
+		s.nodes[i].speed = s.cfg.VMax
+	} else {
+		s.nodes[i].speed = s.rng.Range(s.cfg.VMin, s.cfg.VMax)
+	}
+}
+
+func (s *directionState) Positions() []geom.Point { return s.pts }
+
+func (s *directionState) Step() {
+	for i := range s.nodes {
+		nd := &s.nodes[i]
+		if nd.frozen {
+			continue
+		}
+		if nd.pauseLeft > 0 {
+			nd.pauseLeft--
+			if nd.pauseLeft == 0 {
+				s.assignDirection(i)
+			}
+			continue
+		}
+		next := s.pts[i].Add(nd.dir.Scale(nd.speed))
+		if s.reg.Contains(next) {
+			s.pts[i] = next
+			continue
+		}
+		// Hit the boundary: stop there, pause, then re-aim.
+		s.pts[i] = s.reg.Clamp(next)
+		if s.cfg.PauseSteps > 0 {
+			nd.pauseLeft = s.cfg.PauseSteps
+		} else {
+			s.assignDirection(i)
+		}
+	}
+}
+
+// PaperWaypoint returns the random waypoint configuration used by the
+// paper's Section 4.2 sweeps for a region of side l: p_stationary = 0,
+// v_min = 0.1, v_max = 0.01*l, t_pause = 2000 steps ("moderate mobility").
+func PaperWaypoint(l float64) RandomWaypoint {
+	return RandomWaypoint{VMin: 0.1, VMax: 0.01 * l, PauseSteps: 2000}
+}
+
+// PaperDrunkard returns the drunkard configuration used by the paper's
+// Section 4.2 sweeps for a region of side l: p_stationary = 0.1,
+// p_pause = 0.3, m = 0.01*l.
+func PaperDrunkard(l float64) Drunkard {
+	return Drunkard{PStationary: 0.1, PPause: 0.3, M: 0.01 * l}
+}

@@ -1,0 +1,62 @@
+package mobility
+
+import (
+	"fmt"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// Quantity measures the "quantity of mobility" of a model configuration —
+// the notion the paper introduces informally ("the percentage of stationary
+// nodes with respect to the total number of nodes") to explain why
+// connectivity depends on how much the network moves rather than on the
+// motion pattern, and leaves as future work. Two complementary readings are
+// reported:
+//
+//   - MovingFraction: the fraction of node-steps in which the node changed
+//     position (1 - the instantaneous stationary fraction);
+//   - MeanSpeed: the average per-step displacement across all node-steps,
+//     in distance units per step, normalized by the region side.
+type Quantity struct {
+	MovingFraction float64
+	// MeanSpeed is the mean per-step displacement divided by the region
+	// side l, so values are comparable across system sizes.
+	MeanSpeed float64
+}
+
+// MeasureQuantity runs the model for the given number of steps and measures
+// its mobility quantity.
+func MeasureQuantity(model Model, reg geom.Region, n, steps int, rng *xrand.Rand) (Quantity, error) {
+	if steps <= 0 {
+		return Quantity{}, fmt.Errorf("mobility: steps must be positive, got %d", steps)
+	}
+	if n <= 0 {
+		return Quantity{}, fmt.Errorf("mobility: node count must be positive, got %d", n)
+	}
+	state, err := model.NewState(rng, reg, n)
+	if err != nil {
+		return Quantity{}, err
+	}
+	prev := append([]geom.Point(nil), state.Positions()...)
+	moved := 0
+	total := 0
+	displacement := 0.0
+	for t := 0; t < steps; t++ {
+		state.Step()
+		cur := state.Positions()
+		for i := range cur {
+			total++
+			d := geom.Dist(prev[i], cur[i])
+			if d > 0 {
+				moved++
+				displacement += d
+			}
+			prev[i] = cur[i]
+		}
+	}
+	return Quantity{
+		MovingFraction: float64(moved) / float64(total),
+		MeanSpeed:      displacement / float64(total) / reg.L,
+	}, nil
+}

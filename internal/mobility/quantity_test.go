@@ -1,0 +1,86 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+func TestMeasureQuantityStationary(t *testing.T) {
+	reg := geom.MustRegion(100, 2)
+	q, err := MeasureQuantity(Stationary{}, reg, 20, 100, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MovingFraction != 0 || q.MeanSpeed != 0 {
+		t.Fatalf("stationary quantity = %+v", q)
+	}
+}
+
+func TestMeasureQuantityDrunkardPause(t *testing.T) {
+	reg := geom.MustRegion(1000, 2)
+	q, err := MeasureQuantity(Drunkard{PPause: 0.3, M: 5}, reg, 100, 300, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moving fraction should be ~0.7 (1 - p_pause).
+	if math.Abs(q.MovingFraction-0.7) > 0.03 {
+		t.Fatalf("moving fraction = %v, want ~0.7", q.MovingFraction)
+	}
+	if q.MeanSpeed <= 0 {
+		t.Fatal("mean speed should be positive")
+	}
+}
+
+func TestMeasureQuantityPStationaryScales(t *testing.T) {
+	reg := geom.MustRegion(1000, 2)
+	model := RandomWaypoint{VMin: 1, VMax: 2, PauseSteps: 0}
+	qAll, err := MeasureQuantity(model, reg, 200, 100, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.PStationary = 0.5
+	qHalf, err := MeasureQuantity(model, reg, 200, 100, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qAll.MovingFraction-1) > 0.02 {
+		t.Fatalf("all-mobile moving fraction = %v", qAll.MovingFraction)
+	}
+	ratio := qHalf.MovingFraction / qAll.MovingFraction
+	if math.Abs(ratio-0.5) > 0.1 {
+		t.Fatalf("p_stationary=0.5 moving ratio = %v, want ~0.5", ratio)
+	}
+}
+
+func TestMeasureQuantityPauseReducesMovement(t *testing.T) {
+	reg := geom.MustRegion(1000, 2)
+	fast := RandomWaypoint{VMin: 50, VMax: 50, PauseSteps: 0}
+	pausing := RandomWaypoint{VMin: 50, VMax: 50, PauseSteps: 20}
+	qFast, err := MeasureQuantity(fast, reg, 100, 400, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPause, err := MeasureQuantity(pausing, reg, 100, 400, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qPause.MovingFraction >= qFast.MovingFraction {
+		t.Fatalf("pausing model moves more: %v vs %v", qPause.MovingFraction, qFast.MovingFraction)
+	}
+}
+
+func TestMeasureQuantityValidation(t *testing.T) {
+	reg := geom.MustRegion(10, 2)
+	if _, err := MeasureQuantity(Stationary{}, reg, 5, 0, xrand.New(1)); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := MeasureQuantity(Stationary{}, reg, 0, 5, xrand.New(1)); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := MeasureQuantity(Drunkard{M: -1}, reg, 5, 5, xrand.New(1)); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package occupancy
+
+// Property-based tests on the occupancy distribution.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPropertyPMFIsDistribution(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw) % 300
+		c := int(cRaw)%100 + 1
+		pmf, err := EmptyCellsPMF(n, c)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range pmf {
+			if p < 0 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyImpossibleCounts(t *testing.T) {
+	// With n >= 1 balls, mu = C is impossible; with n < C, mu < C - n is
+	// impossible (each ball occupies at most one new cell).
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		c := int(cRaw)%60 + 1
+		pmf, err := EmptyCellsPMF(n, c)
+		if err != nil {
+			return false
+		}
+		if pmf[c] != 0 {
+			return false
+		}
+		minEmpty := c - n
+		for k := 0; k < minEmpty; k++ {
+			if pmf[k] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMeanMatchesClosedForm(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw) % 200
+		c := int(cRaw)%80 + 1
+		pmf, err := EmptyCellsPMF(n, c)
+		if err != nil {
+			return false
+		}
+		mean := 0.0
+		for k, p := range pmf {
+			mean += float64(k) * p
+		}
+		want := ExpectedEmpty(n, c)
+		return math.Abs(mean-want) <= 1e-8*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyExpectationMonotoneInBalls(t *testing.T) {
+	// Throwing one more ball cannot increase the expected number of empty
+	// cells.
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw) % 200
+		c := int(cRaw)%80 + 1
+		return ExpectedEmpty(n+1, c) <= ExpectedEmpty(n, c)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBoundHolds(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw) % 250
+		c := int(cRaw)%120 + 1
+		return ExpectedEmpty(n, c) <= ExpectedEmptyUpperBound(n, c)*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDomainsTotal(t *testing.T) {
+	// Every (n, C) classifies into exactly one known domain.
+	f := func(nRaw uint16, cRaw uint8) bool {
+		n := int(nRaw) % 5000
+		c := int(cRaw)%200 + 2
+		switch ClassifyDomain(n, c) {
+		case DomainCentral, DomainRight, DomainLeft,
+			DomainRightIntermediate, DomainLeftIntermediate:
+			return true
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

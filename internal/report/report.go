@@ -1,0 +1,240 @@
+// Package report renders experiment results as markdown tables, CSV, and
+// plain-text line charts, so every figure of the paper can be regenerated on
+// a terminal with no plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row. Short rows are padded with empty cells; long rows
+// are truncated to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddFloatRow appends a row of numbers formatted with 4 significant digits.
+func (t *Table) AddFloatRow(values ...float64) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = FormatFloat(v)
+	}
+	t.AddRow(cells...)
+}
+
+// FormatFloat renders a float compactly: integers exactly, everything else
+// with 4 significant digits, "-" for NaN.
+func FormatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, cell := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV (quotes applied only when
+// needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a multi-series line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX plots the x axis on a log scale (used for the l = 256..16384
+	// sweeps, which the paper plots with geometric spacing).
+	LogX   bool
+	Series []Series
+}
+
+// seriesMarkers are assigned to series in order.
+var seriesMarkers = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// ASCII renders the chart as a width x height character plot with axis
+// labels and a legend. Degenerate charts (no finite points) render a note
+// instead.
+func (c *Chart) ASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := c.xVal(s.X[i]), s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			points++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		for i := range s.X {
+			x, y := c.xVal(s.X[i]), s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+			grid[row][col] = marker
+		}
+	}
+	yLo, yHi := FormatFloat(ymin), FormatFloat(ymax)
+	labelWidth := len(yLo)
+	if len(yHi) > labelWidth {
+		labelWidth = len(yHi)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, grid[r])
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	xLoLabel := FormatFloat(c.xOrig(xmin))
+	xHiLabel := FormatFloat(c.xOrig(xmax))
+	pad := width - len(xLoLabel) - len(xHiLabel)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), xLoLabel, strings.Repeat(" ", pad), xHiLabel)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s, y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", seriesMarkers[si%len(seriesMarkers)], s.Name)
+	}
+	return b.String()
+}
+
+func (c *Chart) xVal(x float64) float64 {
+	if c.LogX {
+		if x <= 0 {
+			return math.NaN()
+		}
+		return math.Log2(x)
+	}
+	return x
+}
+
+func (c *Chart) xOrig(x float64) float64 {
+	if c.LogX {
+		return math.Exp2(x)
+	}
+	return x
+}

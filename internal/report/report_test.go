@@ -1,0 +1,138 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "l", "ratio")
+	tb.AddRow("256", "1.21")
+	tb.AddRow("1024", "1.25")
+	md := tb.Markdown()
+	for _, want := range []string{"### Demo", "| l ", "| ratio |", "| 256 ", "| 1024 "} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	// Title, blank, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("markdown has %d lines:\n%s", len(lines), md)
+	}
+}
+
+func TestTablePadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")                // short: padded
+	tb.AddRow("1", "2", "3", "4") // long: truncated
+	if len(tb.Rows[0]) != 3 || len(tb.Rows[1]) != 3 {
+		t.Fatalf("rows not normalized: %v", tb.Rows)
+	}
+	if tb.Rows[1][2] != "3" {
+		t.Fatalf("truncation wrong: %v", tb.Rows[1])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", `with"quote`)
+	csv := tb.CSV()
+	want := "name,value\nplain,1\n\"with,comma\",\"with\"\"quote\"\n"
+	if csv != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", csv, want)
+	}
+}
+
+func TestAddFloatRow(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddFloatRow(1.23456789, math.NaN())
+	if tb.Rows[0][0] != "1.235" {
+		t.Errorf("formatted float = %q", tb.Rows[0][0])
+	}
+	if tb.Rows[0][1] != "-" {
+		t.Errorf("NaN cell = %q", tb.Rows[0][1])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:         "1",
+		0.5:       "0.5",
+		1234567:   "1234567",
+		0.1234567: "0.1235",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestChartASCIIBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "Ratios",
+		XLabel: "l",
+		YLabel: "r/rs",
+		Series: []Series{
+			{Name: "r100", X: []float64{256, 1024, 4096}, Y: []float64{1.0, 1.1, 1.2}},
+			{Name: "r90", X: []float64{256, 1024, 4096}, Y: []float64{0.7, 0.72, 0.75}},
+		},
+	}
+	out := c.ASCII(40, 10)
+	for _, want := range []string{"Ratios", "o = r100", "x = r90", "x: l, y: r/rs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("chart has no plotted markers")
+	}
+}
+
+func TestChartASCIILogX(t *testing.T) {
+	c := &Chart{
+		LogX: true,
+		Series: []Series{
+			{Name: "s", X: []float64{256, 16384}, Y: []float64{0, 1}},
+		},
+	}
+	out := c.ASCII(40, 8)
+	if !strings.Contains(out, "256") || !strings.Contains(out, "16384") {
+		t.Errorf("log-x axis labels missing:\n%s", out)
+	}
+}
+
+func TestChartASCIIEmpty(t *testing.T) {
+	c := &Chart{Title: "none"}
+	out := c.ASCII(40, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart should say so:\n%s", out)
+	}
+	// NaN-only series count as empty.
+	c.Series = []Series{{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}}
+	if !strings.Contains(c.ASCII(40, 8), "(no data)") {
+		t.Error("NaN-only chart should be empty")
+	}
+}
+
+func TestChartASCIIConstantSeries(t *testing.T) {
+	// Degenerate ranges (all x equal, all y equal) must not divide by zero.
+	c := &Chart{
+		Series: []Series{{Name: "s", X: []float64{5, 5}, Y: []float64{2, 2}}},
+	}
+	out := c.ASCII(20, 5)
+	if !strings.Contains(out, "o") {
+		t.Errorf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	out := c.ASCII(1, 1) // clamped up internally
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}

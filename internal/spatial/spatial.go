@@ -1,0 +1,229 @@
+// Package spatial provides neighbor search over node placements. The
+// simulator's inner loop builds the communication graph G_M(t) — the point
+// graph with an edge between every pair of nodes at distance <= r — and this
+// package supplies both a uniform cell-grid index (near-linear time for
+// realistic densities) and a brute-force reference used to cross-check it.
+package spatial
+
+import (
+	"math"
+
+	"adhocnet/internal/geom"
+)
+
+// PairVisitor receives one unordered node pair (i < j) together with the
+// squared distance between the two points.
+type PairVisitor func(i, j int, d2 float64)
+
+// cellKey identifies a grid cell by its integer coordinates. Unused
+// dimensions stay zero, so the same key works for d in {1,2,3}.
+type cellKey struct {
+	x, y, z int32
+}
+
+// Index is a uniform cell grid over a fixed point set. Points are hashed into
+// cells of side equal to the query radius, so all neighbors of a point lie in
+// the 3^d cells around it. A hash map keeps memory proportional to the number
+// of occupied cells rather than the region volume, which matters for the
+// paper's sparse regimes (for example 128 nodes in a 16384-side square).
+type Index struct {
+	pts   []geom.Point
+	dim   int
+	side  float64
+	cells map[cellKey][]int32
+}
+
+// NewIndex builds a grid index with the given cell side over pts. The index
+// answers pair queries for any radius r <= side. A non-positive side yields
+// an index that degrades to a single cell (all points), which is still
+// correct, just slower.
+func NewIndex(pts []geom.Point, dim int, side float64) *Index {
+	ix := &Index{
+		pts:   pts,
+		dim:   dim,
+		side:  side,
+		cells: make(map[cellKey][]int32, len(pts)),
+	}
+	for i, p := range pts {
+		k := ix.keyOf(p)
+		ix.cells[k] = append(ix.cells[k], int32(i))
+	}
+	return ix
+}
+
+func (ix *Index) keyOf(p geom.Point) cellKey {
+	if ix.side <= 0 {
+		return cellKey{}
+	}
+	var k cellKey
+	k.x = int32(math.Floor(p.X / ix.side))
+	if ix.dim >= 2 {
+		k.y = int32(math.Floor(p.Y / ix.side))
+	}
+	if ix.dim >= 3 {
+		k.z = int32(math.Floor(p.Z / ix.side))
+	}
+	return k
+}
+
+// ForEachPairWithin calls visit once per unordered pair (i < j) whose points
+// lie at distance <= r. It requires r <= the index cell side; larger radii
+// would miss pairs, so the call silently widens to a correct (brute-force)
+// scan in that case rather than return wrong results.
+func (ix *Index) ForEachPairWithin(r float64, visit PairVisitor) {
+	if r < 0 {
+		return
+	}
+	if ix.side > 0 && r > ix.side {
+		BruteForcePairsWithin(ix.pts, r, visit)
+		return
+	}
+	r2 := r * r
+	// Half-stencil of neighbor cell offsets: each unordered cell pair is
+	// examined exactly once. Offsets lexicographically positive.
+	offsets := halfStencil(ix.dim)
+	for k, members := range ix.cells {
+		// Pairs inside the cell.
+		for a := 0; a < len(members); a++ {
+			i := members[a]
+			for b := a + 1; b < len(members); b++ {
+				j := members[b]
+				d2 := geom.Dist2(ix.pts[i], ix.pts[j])
+				if d2 <= r2 {
+					emitOrdered(int(i), int(j), d2, visit)
+				}
+			}
+		}
+		// Pairs across to forward neighbor cells.
+		for _, off := range offsets {
+			nk := cellKey{k.x + off.x, k.y + off.y, k.z + off.z}
+			other, ok := ix.cells[nk]
+			if !ok {
+				continue
+			}
+			for _, i := range members {
+				for _, j := range other {
+					d2 := geom.Dist2(ix.pts[i], ix.pts[j])
+					if d2 <= r2 {
+						emitOrdered(int(i), int(j), d2, visit)
+					}
+				}
+			}
+		}
+	}
+}
+
+func emitOrdered(i, j int, d2 float64, visit PairVisitor) {
+	if i < j {
+		visit(i, j, d2)
+	} else {
+		visit(j, i, d2)
+	}
+}
+
+// halfStencil returns the forward half of the 3^d - 1 neighbor offsets, i.e.
+// those lexicographically greater than the zero offset. Visiting only these
+// from every cell touches each unordered cell pair exactly once.
+func halfStencil(dim int) []cellKey {
+	var lo int32 = -1
+	maxY, maxZ := int32(0), int32(0)
+	if dim >= 2 {
+		maxY = 1
+	}
+	if dim >= 3 {
+		maxZ = 1
+	}
+	var out []cellKey
+	for z := -maxZ; z <= maxZ; z++ {
+		for y := -maxY; y <= maxY; y++ {
+			for x := lo; x <= 1; x++ {
+				k := cellKey{x, y, z}
+				if k == (cellKey{}) {
+					continue
+				}
+				if isForward(k) {
+					out = append(out, k)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isForward reports whether the offset is lexicographically positive in
+// (z, y, x) order.
+func isForward(k cellKey) bool {
+	if k.z != 0 {
+		return k.z > 0
+	}
+	if k.y != 0 {
+		return k.y > 0
+	}
+	return k.x > 0
+}
+
+// PairsWithin visits every unordered pair of points at distance <= r using a
+// transient grid index sized to r. It is the standard entry point for
+// building one communication graph.
+func PairsWithin(pts []geom.Point, dim int, r float64, visit PairVisitor) {
+	if r < 0 || len(pts) < 2 {
+		return
+	}
+	if r == 0 {
+		// Zero range: only coincident points are neighbors. The grid would
+		// need infinite resolution; scan directly.
+		BruteForcePairsWithin(pts, 0, visit)
+		return
+	}
+	NewIndex(pts, dim, r).ForEachPairWithin(r, visit)
+}
+
+// BruteForcePairsWithin is the O(n^2) reference implementation of
+// PairsWithin. It is used to validate the grid and as the fallback for radii
+// exceeding the grid cell size.
+func BruteForcePairsWithin(pts []geom.Point, r float64, visit PairVisitor) {
+	if r < 0 {
+		return
+	}
+	r2 := r * r
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			d2 := geom.Dist2(pts[i], pts[j])
+			if d2 <= r2 {
+				visit(i, j, d2)
+			}
+		}
+	}
+}
+
+// CountPairsWithin returns the number of unordered pairs within distance r.
+func CountPairsWithin(pts []geom.Point, dim int, r float64) int {
+	n := 0
+	PairsWithin(pts, dim, r, func(int, int, float64) { n++ })
+	return n
+}
+
+// NearestNeighborDistances returns, for every point, the distance to its
+// nearest other point (infinity for a singleton set). A node is isolated at
+// range r exactly when its nearest-neighbor distance exceeds r — the quantity
+// behind the isolated-node analysis of [Santi-Blough-Vainstein '01] that the
+// paper's Section 3 sharpens.
+func NearestNeighborDistances(pts []geom.Point) []float64 {
+	out := make([]float64, len(pts))
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			d2 := geom.Dist2(pts[i], pts[j])
+			d := math.Sqrt(d2)
+			if d < out[i] {
+				out[i] = d
+			}
+			if d < out[j] {
+				out[j] = d
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,391 @@
+// Package trace records and replays mobility traces: the full sequence of
+// node positions of a simulation run. Traces decouple motion generation from
+// connectivity evaluation — a trace generated once (or converted from
+// another tool's output) can be replayed through the simulator as a mobility
+// model, which makes experiments repeatable input-for-input and lets users
+// plug in externally recorded motion.
+//
+// Two encodings are provided: a compact binary format (magic "ADHTRC1") and
+// a line-oriented text format ("step node x y z", one line per node per
+// step) that is easy to inspect and to generate from other tools.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/mobility"
+	"adhocnet/internal/xrand"
+)
+
+// ErrFormat is wrapped by all decoding errors caused by malformed input.
+var ErrFormat = errors.New("trace: malformed trace")
+
+// limits guarding against pathological headers in untrusted inputs.
+const (
+	maxNodes = 1 << 24
+	maxSteps = 1 << 28
+)
+
+// Trace is a recorded trajectory: Positions[t][i] is the position of node i
+// at snapshot t.
+type Trace struct {
+	Region    geom.Region
+	Positions [][]geom.Point
+}
+
+// Nodes returns the number of nodes.
+func (t *Trace) Nodes() int {
+	if len(t.Positions) == 0 {
+		return 0
+	}
+	return len(t.Positions[0])
+}
+
+// Steps returns the number of recorded snapshots.
+func (t *Trace) Steps() int { return len(t.Positions) }
+
+// Validate checks structural invariants: a valid region, at least one
+// snapshot, rectangular shape, and all positions inside the region.
+func (t *Trace) Validate() error {
+	if _, err := geom.NewRegion(t.Region.L, t.Region.Dim); err != nil {
+		return err
+	}
+	if len(t.Positions) == 0 {
+		return fmt.Errorf("%w: no snapshots", ErrFormat)
+	}
+	n := len(t.Positions[0])
+	for step, pts := range t.Positions {
+		if len(pts) != n {
+			return fmt.Errorf("%w: snapshot %d has %d nodes, want %d", ErrFormat, step, len(pts), n)
+		}
+		for i, p := range pts {
+			if !t.Region.Contains(p) {
+				return fmt.Errorf("%w: node %d at snapshot %d outside region: %v", ErrFormat, i, step, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Record runs the mobility model for the given number of snapshots (initial
+// placement first) and captures every position.
+func Record(model mobility.Model, reg geom.Region, n, steps int, rng *xrand.Rand) (*Trace, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("trace: steps must be positive, got %d", steps)
+	}
+	state, err := model.NewState(rng, reg, n)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Region: reg, Positions: make([][]geom.Point, steps)}
+	for t := 0; t < steps; t++ {
+		if t > 0 {
+			state.Step()
+		}
+		tr.Positions[t] = append([]geom.Point(nil), state.Positions()...)
+	}
+	return tr, nil
+}
+
+const binaryMagic = "ADHTRC1\n"
+
+// WriteBinary encodes the trace in the compact binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	header := []interface{}{
+		int32(t.Region.Dim), t.Region.L, int32(t.Nodes()), int32(t.Steps()),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("trace: writing header: %w", err)
+		}
+	}
+	dim := t.Region.Dim
+	buf := make([]float64, 0, 3)
+	for _, pts := range t.Positions {
+		for _, p := range pts {
+			buf = buf[:0]
+			buf = append(buf, p.X)
+			if dim >= 2 {
+				buf = append(buf, p.Y)
+			}
+			if dim >= 3 {
+				buf = append(buf, p.Z)
+			}
+			if err := binary.Write(bw, binary.LittleEndian, buf); err != nil {
+				return fmt.Errorf("trace: writing positions: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace in the binary format and validates it.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrFormat, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, magic)
+	}
+	var (
+		dim, n, steps int32
+		l             float64
+	)
+	for _, dst := range []interface{}{&dim, &l, &n, &steps} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("%w: reading header: %v", ErrFormat, err)
+		}
+	}
+	if n < 0 || n > maxNodes || steps <= 0 || steps > maxSteps {
+		return nil, fmt.Errorf("%w: implausible header n=%d steps=%d", ErrFormat, n, steps)
+	}
+	reg, err := geom.NewRegion(l, int(dim))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	tr := &Trace{Region: reg, Positions: make([][]geom.Point, steps)}
+	coords := make([]float64, dim)
+	for t := int32(0); t < steps; t++ {
+		pts := make([]geom.Point, n)
+		for i := int32(0); i < n; i++ {
+			if err := binary.Read(br, binary.LittleEndian, coords); err != nil {
+				return nil, fmt.Errorf("%w: truncated at snapshot %d node %d: %v", ErrFormat, t, i, err)
+			}
+			p := geom.Point{X: coords[0]}
+			if dim >= 2 {
+				p.Y = coords[1]
+			}
+			if dim >= 3 {
+				p.Z = coords[2]
+			}
+			pts[i] = p
+		}
+		tr.Positions[t] = pts
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// WriteText encodes the trace in the line-oriented text format:
+//
+//	# adhocnet-trace v1
+//	# dim=<d> l=<side> nodes=<n> steps=<T>
+//	<step> <node> <x> [<y> [<z>]]
+func (t *Trace) WriteText(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# adhocnet-trace v1")
+	fmt.Fprintf(bw, "# dim=%d l=%s nodes=%d steps=%d\n",
+		t.Region.Dim, formatFloat(t.Region.L), t.Nodes(), t.Steps())
+	dim := t.Region.Dim
+	for step, pts := range t.Positions {
+		for i, p := range pts {
+			fmt.Fprintf(bw, "%d %d %s", step, i, formatFloat(p.X))
+			if dim >= 2 {
+				fmt.Fprintf(bw, " %s", formatFloat(p.Y))
+			}
+			if dim >= 3 {
+				fmt.Fprintf(bw, " %s", formatFloat(p.Z))
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ReadText decodes a trace in the text format and validates it.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	// Header.
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "# adhocnet-trace v1") {
+		return nil, fmt.Errorf("%w: missing version header", ErrFormat)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: missing parameter header", ErrFormat)
+	}
+	params, err := parseHeaderParams(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+	dim, l, n, steps := params.dim, params.l, params.nodes, params.steps
+	if n < 0 || n > maxNodes || steps <= 0 || steps > maxSteps {
+		return nil, fmt.Errorf("%w: implausible header nodes=%d steps=%d", ErrFormat, n, steps)
+	}
+	reg, err := geom.NewRegion(l, dim)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	tr := &Trace{Region: reg, Positions: make([][]geom.Point, steps)}
+	for t := range tr.Positions {
+		tr.Positions[t] = make([]geom.Point, n)
+	}
+	seen := make([]bool, steps*n)
+	line := 2
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2+dim {
+			return nil, fmt.Errorf("%w: line %d: want %d fields, got %d", ErrFormat, line, 2+dim, len(fields))
+		}
+		step, err1 := strconv.Atoi(fields[0])
+		node, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || step < 0 || step >= steps || node < 0 || node >= n {
+			return nil, fmt.Errorf("%w: line %d: bad step/node %q %q", ErrFormat, line, fields[0], fields[1])
+		}
+		var p geom.Point
+		coords := []*float64{&p.X, &p.Y, &p.Z}
+		for c := 0; c < dim; c++ {
+			v, err := strconv.ParseFloat(fields[2+c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad coordinate %q", ErrFormat, line, fields[2+c])
+			}
+			*coords[c] = v
+		}
+		idx := step*n + node
+		if seen[idx] {
+			return nil, fmt.Errorf("%w: line %d: duplicate entry for step %d node %d", ErrFormat, line, step, node)
+		}
+		seen[idx] = true
+		tr.Positions[step][node] = p
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	for idx, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("%w: missing entry for step %d node %d", ErrFormat, idx/max(n, 1), idx%max(n, 1))
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+type headerParams struct {
+	dim, nodes, steps int
+	l                 float64
+}
+
+func parseHeaderParams(line string) (headerParams, error) {
+	var out headerParams
+	found := map[string]bool{}
+	for _, field := range strings.Fields(strings.TrimPrefix(line, "#")) {
+		key, value, ok := strings.Cut(field, "=")
+		if !ok {
+			continue
+		}
+		var err error
+		switch key {
+		case "dim":
+			out.dim, err = strconv.Atoi(value)
+		case "nodes":
+			out.nodes, err = strconv.Atoi(value)
+		case "steps":
+			out.steps, err = strconv.Atoi(value)
+		case "l":
+			out.l, err = strconv.ParseFloat(value, 64)
+		default:
+			continue
+		}
+		if err != nil {
+			return out, fmt.Errorf("%w: header parameter %q: %v", ErrFormat, field, err)
+		}
+		found[key] = true
+	}
+	for _, key := range []string{"dim", "nodes", "steps", "l"} {
+		if !found[key] {
+			return out, fmt.Errorf("%w: header missing %q", ErrFormat, key)
+		}
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Replay adapts a recorded trace to the mobility.Model interface, so a trace
+// can be fed to every evaluator in place of a generative model. When the
+// trajectory is exhausted the final snapshot repeats (or, with Loop, the
+// trace restarts from its first snapshot).
+type Replay struct {
+	Trace *Trace
+	Loop  bool
+}
+
+// Name implements mobility.Model.
+func (Replay) Name() string { return "replay" }
+
+// Validate implements mobility.Model.
+func (r Replay) Validate() error {
+	if r.Trace == nil {
+		return errors.New("trace: replay has no trace")
+	}
+	return r.Trace.Validate()
+}
+
+// NewState implements mobility.Model. The region must match the trace's
+// region and n its node count; the random source is unused (replay is
+// deterministic by construction).
+func (r Replay) NewState(_ *xrand.Rand, reg geom.Region, n int) (mobility.State, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if reg != r.Trace.Region {
+		return nil, fmt.Errorf("trace: replay region %+v does not match trace region %+v", reg, r.Trace.Region)
+	}
+	if n != r.Trace.Nodes() {
+		return nil, fmt.Errorf("trace: replay wants %d nodes, trace has %d", n, r.Trace.Nodes())
+	}
+	return &replayState{trace: r.Trace, loop: r.Loop}, nil
+}
+
+type replayState struct {
+	trace *Trace
+	loop  bool
+	step  int
+}
+
+func (s *replayState) Positions() []geom.Point { return s.trace.Positions[s.step] }
+
+func (s *replayState) Step() {
+	last := s.trace.Steps() - 1
+	switch {
+	case s.step < last:
+		s.step++
+	case s.loop:
+		s.step = 0
+	}
+}

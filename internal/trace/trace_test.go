@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/mobility"
+	"adhocnet/internal/xrand"
+)
+
+func recordSample(t *testing.T, dim int) *Trace {
+	t.Helper()
+	reg := geom.MustRegion(100, dim)
+	var m mobility.Model = mobility.RandomWaypoint{VMin: 1, VMax: 5, PauseSteps: 2}
+	tr, err := Record(m, reg, 7, 25, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if a.Region != b.Region || a.Steps() != b.Steps() || a.Nodes() != b.Nodes() {
+		return false
+	}
+	for t := range a.Positions {
+		for i := range a.Positions[t] {
+			if a.Positions[t][i] != b.Positions[t][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRecordShape(t *testing.T) {
+	tr := recordSample(t, 2)
+	if tr.Steps() != 25 || tr.Nodes() != 7 {
+		t.Fatalf("recorded %d steps x %d nodes", tr.Steps(), tr.Nodes())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	reg := geom.MustRegion(10, 2)
+	if _, err := Record(mobility.Stationary{}, reg, 3, 0, xrand.New(1)); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := Record(mobility.Drunkard{M: -1}, reg, 3, 5, xrand.New(1)); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for dim := 1; dim <= 3; dim++ {
+		tr := recordSample(t, dim)
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tracesEqual(tr, got) {
+			t.Fatalf("dim=%d: binary round trip lost data", dim)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for dim := 1; dim <= 3; dim++ {
+		tr := recordSample(t, dim)
+		var buf bytes.Buffer
+		if err := tr.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tracesEqual(tr, got) {
+			t.Fatalf("dim=%d: text round trip lost data", dim)
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      nil,
+		"bad magic":  []byte("NOTATRACE"),
+		"truncated":  []byte("ADHTRC1\n\x02\x00\x00\x00"),
+		"text input": []byte("# adhocnet-trace v1\n"),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: error %v does not wrap ErrFormat", name, err)
+		}
+	}
+}
+
+func TestReadBinaryRejectsTruncatedBody(t *testing.T) {
+	tr := recordSample(t, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-9])); !errors.Is(err, ErrFormat) {
+		t.Errorf("truncated body: %v does not wrap ErrFormat", err)
+	}
+}
+
+func TestReadTextRejectsMalformed(t *testing.T) {
+	header := "# adhocnet-trace v1\n# dim=1 l=10 nodes=2 steps=1\n"
+	cases := map[string]string{
+		"no header":        "0 0 1\n",
+		"missing param":    "# adhocnet-trace v1\n# dim=1 l=10 nodes=2\n0 0 1\n0 1 2\n",
+		"bad field count":  header + "0 0 1 2\n0 1 2\n",
+		"bad step":         header + "9 0 1\n0 1 2\n",
+		"bad node":         header + "0 7 1\n0 1 2\n",
+		"bad coordinate":   header + "0 0 abc\n0 1 2\n",
+		"duplicate entry":  header + "0 0 1\n0 0 2\n",
+		"missing entry":    header + "0 0 1\n",
+		"position outside": header + "0 0 99\n0 1 2\n",
+		"bad dim":          "# adhocnet-trace v1\n# dim=9 l=10 nodes=1 steps=1\n0 0 1\n",
+		"bad steps":        "# adhocnet-trace v1\n# dim=1 l=10 nodes=1 steps=0\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadText(strings.NewReader(text)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: error %v does not wrap ErrFormat", name, err)
+		}
+	}
+}
+
+func TestReadTextIgnoresCommentsAndBlanks(t *testing.T) {
+	text := "# adhocnet-trace v1\n# dim=1 l=10 nodes=1 steps=2\n\n# comment\n0 0 1\n\n1 0 2\n"
+	tr, err := ReadText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Positions[1][0].X != 2 {
+		t.Fatalf("parsed wrong position: %v", tr.Positions[1][0])
+	}
+}
+
+func TestValidateCatchesRaggedTrace(t *testing.T) {
+	reg := geom.MustRegion(10, 1)
+	tr := &Trace{Region: reg, Positions: [][]geom.Point{
+		{{X: 1}, {X: 2}},
+		{{X: 1}},
+	}}
+	if err := tr.Validate(); !errors.Is(err, ErrFormat) {
+		t.Errorf("ragged trace: %v", err)
+	}
+	empty := &Trace{Region: reg}
+	if err := empty.Validate(); !errors.Is(err, ErrFormat) {
+		t.Errorf("empty trace: %v", err)
+	}
+}
+
+func TestReplayReproducesTrace(t *testing.T) {
+	tr := recordSample(t, 2)
+	st, err := Replay{Trace: tr}.NewState(nil, tr.Region, tr.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < tr.Steps(); step++ {
+		if step > 0 {
+			st.Step()
+		}
+		for i, p := range st.Positions() {
+			if p != tr.Positions[step][i] {
+				t.Fatalf("step %d node %d: %v != %v", step, i, p, tr.Positions[step][i])
+			}
+		}
+	}
+	// Past the end: hold the final snapshot.
+	st.Step()
+	last := tr.Positions[tr.Steps()-1]
+	for i, p := range st.Positions() {
+		if p != last[i] {
+			t.Fatalf("after end: node %d moved to %v", i, p)
+		}
+	}
+}
+
+func TestReplayLoop(t *testing.T) {
+	tr := recordSample(t, 2)
+	st, err := Replay{Trace: tr, Loop: true}.NewState(nil, tr.Region, tr.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < tr.Steps()-1; step++ {
+		st.Step()
+	}
+	st.Step() // wraps to snapshot 0
+	for i, p := range st.Positions() {
+		if p != tr.Positions[0][i] {
+			t.Fatalf("loop did not wrap: node %d at %v", i, p)
+		}
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	tr := recordSample(t, 2)
+	if _, err := (Replay{}).NewState(nil, tr.Region, 7); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := (Replay{Trace: tr}).NewState(nil, tr.Region, 3); err == nil {
+		t.Error("wrong node count accepted")
+	}
+	other := geom.MustRegion(55, 2)
+	if _, err := (Replay{Trace: tr}).NewState(nil, other, 7); err == nil {
+		t.Error("wrong region accepted")
+	}
+	if err := (Replay{}).Validate(); err == nil {
+		t.Error("Validate accepted nil trace")
+	}
+	if (Replay{}).Name() != "replay" {
+		t.Error("wrong name")
+	}
+}
+
+func TestBinaryDeterministicEncoding(t *testing.T) {
+	tr := recordSample(t, 2)
+	var a, b bytes.Buffer
+	if err := tr.WriteBinary(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("binary encoding not deterministic")
+	}
+}
+
+func BenchmarkBinaryRoundTrip(b *testing.B) {
+	reg := geom.MustRegion(1000, 2)
+	tr, err := Record(mobility.RandomWaypoint{VMin: 1, VMax: 5}, reg, 64, 100, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

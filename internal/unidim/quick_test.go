@@ -1,0 +1,115 @@
+package unidim
+
+// Property-based tests on the Section 3 theory.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adhocnet/internal/xrand"
+)
+
+func TestPropertyConnectivityProbabilityInRange(t *testing.T) {
+	f := func(nRaw uint8, xRaw uint16) bool {
+		n := int(nRaw)%200 + 2
+		x := float64(xRaw) / 65535 // [0,1]
+		p := ConnectivityProbability(n, x)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPoissonBoundsExact(t *testing.T) {
+	// exp(-lambda) with lambda = E[#long gaps] is a lower-ish bound in the
+	// sparse regime and the exact probability respects the union bound
+	// P >= 1 - lambda everywhere.
+	f := func(nRaw uint8, xRaw uint16) bool {
+		n := int(nRaw)%100 + 2
+		x := float64(xRaw) / 65535
+		exact := ConnectivityProbability(n, x)
+		lambda := ExpectedLongGaps(n, x)
+		return exact >= 1-lambda-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMoreNodesNeverHurt(t *testing.T) {
+	// At fixed ratio, adding a node cannot decrease connectivity... this is
+	// actually false in general for tiny x (more nodes = more gaps to
+	// close), so restrict to the regime x >= 2/n where it holds empirically
+	// and assert only a small tolerance. The stronger, always-true property
+	// is monotonicity in x, checked below.
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%60 + 3
+		x := 2.5 / float64(n)
+		return ConnectivityProbability(n+1, x) >= ConnectivityProbability(n, x)-0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGapPatternImpliesDisconnection(t *testing.T) {
+	// Lemma 1 as a property over random placements: pattern => disconnected.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(40)
+		l := 100.0
+		c := 2 + rng.Intn(20)
+		r := l / float64(c) // cell width equals the range
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * l
+		}
+		if !HasGapPattern(CellBitString(xs, l, c)) {
+			return true // nothing to check
+		}
+		return !connected1D(xs, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyConditionalProbabilityNormalized(t *testing.T) {
+	f := func(cRaw uint8) bool {
+		c := int(cRaw)%30 + 1
+		for k := 0; k <= c; k++ {
+			p := ConsecutiveOnesProbability(k, c)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGapProbabilityConsistent(t *testing.T) {
+	// P(E^{10*1}) in [0,1] and increases when cells are added at fixed n...
+	// (finer subdivisions create gaps more easily).
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 4 + rng.Intn(60)
+		c := 2 + rng.Intn(18)
+		p1, err1 := GapPatternProbability(n, c)
+		p2, err2 := GapPatternProbability(n, c+4)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1 {
+			return false
+		}
+		return p2 >= p1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

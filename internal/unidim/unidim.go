@@ -1,0 +1,485 @@
+// Package unidim implements the 1-dimensional connectivity theory of the
+// paper's Section 3: the exact probability that n uniform nodes on [0,l] with
+// transmitting range r form a connected communication graph, the
+// isolated-node analysis it sharpens, and the occupancy-based machinery of
+// Lemmas 1-2 and Theorem 4 (the {10*1} cell pattern whose probability stays
+// bounded away from zero when l << rn << l log l).
+//
+// Scaling note: the connectivity of n uniform points on [0,l] with range r
+// depends only on the ratio x = r/l, so the exact laws below take that ratio.
+package unidim
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"adhocnet/internal/occupancy"
+	"adhocnet/internal/stats"
+	"adhocnet/internal/xrand"
+)
+
+// ConnectivityProbability returns the exact probability that n nodes placed
+// independently and uniformly on [0,l] with transmitting range r = ratio*l
+// form a connected graph. The graph is connected iff every one of the n-1
+// spacings between consecutive order statistics is at most r, and by the
+// classical uniform-spacings identity
+//
+//	P(connected) = sum_{j=0}^{n-1} (-1)^j C(n-1,j) (1-j*ratio)_+^n.
+//
+// The alternating sum cancels catastrophically in floating point: terms grow
+// as large as C(n-1, n/2) ~ 2^n before cancelling down to a probability that
+// may itself be astronomically small. The evaluation uses big.Float with
+// escalating precision: it retries with twice the mantissa until a rigorous
+// error bound certifies the result (or certifies that the result underflows
+// float64, in which case 0 is returned). Beyond n = 20000 the exact
+// evaluation is no longer worthwhile and the function returns the Poisson
+// approximation, whose error in that regime is below float64 visibility for
+// any ratio of practical interest.
+func ConnectivityProbability(n int, ratio float64) float64 {
+	switch {
+	case n <= 1:
+		return 1
+	case ratio >= 1:
+		return 1
+	case ratio <= 0:
+		return 0
+	}
+	const maxExactN = 20000
+	if n > maxExactN {
+		return ConnectivityProbabilityPoisson(n, ratio)
+	}
+	prec := uint(n + 128)
+	for {
+		sum, magnitude := connSum(n, ratio, prec)
+		// Absolute error bound: every one of the <= n terms carries relative
+		// error well below 2^(16+log2 n - prec) after the O(log n) rounded
+		// multiplications that build it, so the summed error is below
+		// magnitude * 2^(16+2*log2(n) - prec).
+		errExp := exponent(magnitude) + 16 + 2*intLog2(n) - int(prec)
+		resolvedBits := exponent(sum) - errExp
+		if resolvedBits > 64 || errExp < -1120 {
+			// Either the sum is certified to ~64 significant bits, or the
+			// total error (hence the unresolved sum, if any) is below the
+			// smallest subnormal float64.
+			out, _ := sum.Float64()
+			if out < 0 {
+				return 0
+			}
+			if out > 1 {
+				return 1
+			}
+			return out
+		}
+		prec *= 2
+	}
+}
+
+// connSum evaluates the inclusion-exclusion sum at the given precision,
+// returning the signed sum and the total magnitude sum_j |term_j| used for
+// error analysis.
+func connSum(n int, ratio float64, prec uint) (sum, magnitude *big.Float) {
+	sum = new(big.Float).SetPrec(prec)
+	magnitude = new(big.Float).SetPrec(prec)
+	binom := new(big.Float).SetPrec(prec).SetInt64(1) // C(n-1, j), exact while it fits
+	tmp := new(big.Float).SetPrec(prec)
+	one := new(big.Float).SetPrec(prec).SetInt64(1)
+	ratioBig := new(big.Float).SetPrec(prec).SetFloat64(ratio)
+	base := new(big.Float).SetPrec(prec)
+	for j := 0; j < n; j++ {
+		// base = 1 - j*ratio, formed in extended precision: the alternating
+		// terms cancel almost exactly, so even a float64-level perturbation
+		// of the base would swamp the result.
+		base.Mul(ratioBig, tmp.SetInt64(int64(j)))
+		base.Sub(one, base)
+		if base.Sign() <= 0 {
+			break
+		}
+		term := bigPow(new(big.Float).SetPrec(prec).Set(base), n)
+		term.Mul(term, binom)
+		magnitude.Add(magnitude, term)
+		if j%2 == 1 {
+			sum.Sub(sum, term)
+		} else {
+			sum.Add(sum, term)
+		}
+		// Update C(n-1, j+1) = C(n-1, j) * (n-1-j) / (j+1).
+		binom.Mul(binom, tmp.SetInt64(int64(n-1-j)))
+		binom.Quo(binom, tmp.SetInt64(int64(j+1)))
+	}
+	return sum, magnitude
+}
+
+// exponent returns the binary exponent of x (roughly log2|x|), or a very
+// negative sentinel for zero.
+func exponent(x *big.Float) int {
+	if x.Sign() == 0 {
+		return -1 << 20
+	}
+	return x.MantExp(nil)
+}
+
+// intLog2 returns ceil(log2(n)) for n >= 1.
+func intLog2(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// bigPow returns base**n for n >= 0 by binary exponentiation. The receiver
+// base is consumed.
+func bigPow(base *big.Float, n int) *big.Float {
+	result := new(big.Float).SetPrec(base.Prec()).SetInt64(1)
+	for n > 0 {
+		if n&1 == 1 {
+			result.Mul(result, base)
+		}
+		base.Mul(base, base)
+		n >>= 1
+	}
+	return result
+}
+
+// ExpectedLongGaps returns the expected number of internal spacings longer
+// than ratio*l: exactly (n-1)(1-ratio)_+^n. When this expectation is small
+// the gap count is approximately Poisson, which yields
+// ConnectivityProbabilityPoisson.
+func ExpectedLongGaps(n int, ratio float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	base := 1 - ratio
+	if base <= 0 {
+		return 0
+	}
+	return float64(n-1) * math.Pow(base, float64(n))
+}
+
+// ConnectivityProbabilityPoisson returns the Poisson approximation
+// exp(-E[#long gaps]) to the exact connectivity probability. It is sharp in
+// the threshold regime ratio ~ log(n)/n, where long gaps are rare and nearly
+// independent.
+func ConnectivityProbabilityPoisson(n int, ratio float64) float64 {
+	return math.Exp(-ExpectedLongGaps(n, ratio))
+}
+
+// ExpectedIsolatedNodes returns the exact expected number of isolated nodes
+// (nodes with no neighbor within r = ratio*l) among n uniform nodes on
+// [0,l]:
+//
+//	E = n(1-2x)_+^n + 2(1-x)^n - 2(1-2x)_+^n,   x = ratio,
+//
+// obtained by integrating the per-node isolation probability over the node's
+// position (interior nodes see a 2x-wide neighborhood, border nodes less).
+// Isolated nodes drive the lower bound of [Santi-Blough-Vainstein '01] that
+// Theorem 4 of the paper improves on.
+func ExpectedIsolatedNodes(n int, ratio float64) float64 {
+	if n <= 1 {
+		if n == 1 {
+			return 1 // a lone node has no neighbors at any range
+		}
+		return 0
+	}
+	if ratio >= 1 {
+		return 0
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	x := ratio
+	oneMinusX := math.Pow(1-x, float64(n))
+	oneMinus2X := 0.0
+	if 1-2*x > 0 {
+		oneMinus2X = math.Pow(1-2*x, float64(n))
+	}
+	return float64(n)*oneMinus2X + 2*oneMinusX - 2*oneMinus2X
+}
+
+// ExpectedComponents returns the exact expected number of connected
+// components of the 1-D communication graph: in one dimension the component
+// count is exactly 1 + #{internal spacings > r}, so
+//
+//	E[#components] = 1 + (n-1)(1-ratio)_+^n.
+func ExpectedComponents(n int, ratio float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 1 + ExpectedLongGaps(n, ratio)
+}
+
+// VarianceComponents returns the exact variance of the 1-D component count,
+// using the pair identity P(two given spacings both exceed x) = (1-2x)_+^n:
+//
+//	Var = (n-1)q + (n-1)(n-2)q2 - ((n-1)q)^2,
+//
+// with q = (1-x)_+^n and q2 = (1-2x)_+^n.
+func VarianceComponents(n int, ratio float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	pow := func(base float64) float64 {
+		if base <= 0 {
+			return 0
+		}
+		return math.Pow(base, float64(n))
+	}
+	q := pow(1 - ratio)
+	q2 := pow(1 - 2*ratio)
+	m := float64(n - 1)
+	v := m*q + m*(m-1)*q2 - m*m*q*q
+	if v < 0 {
+		v = 0 // rounding residue near the deterministic extremes
+	}
+	return v
+}
+
+// RadiusForConnectivity returns the minimal ratio r/l at which the exact
+// connectivity probability reaches at least p, via bisection (the
+// probability is nondecreasing in the ratio). It returns an error for p
+// outside (0,1) or n < 2 (for which every radius suffices).
+func RadiusForConnectivity(n int, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("unidim: target probability must be in (0,1), got %v", p)
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 100 && hi-lo > 1e-12; iter++ {
+		mid := (lo + hi) / 2
+		if ConnectivityProbability(n, mid) >= p {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// NodesForConnectivity returns the minimal number of nodes n such that the
+// exact connectivity probability at ratio r/l reaches at least p — the
+// paper's "alternate formulation where the number of nodes is the primary
+// concern". The probability is not monotone in n for fixed small ratio in
+// general, but it is eventually increasing; the search doubles until the
+// target is met and then bisects on the increasing tail. An error is
+// returned when the ratio is non-positive or p is outside (0,1).
+func NodesForConnectivity(ratio, p float64) (int, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("unidim: target probability must be in (0,1), got %v", p)
+	}
+	if !(ratio > 0) {
+		return 0, fmt.Errorf("unidim: ratio must be positive, got %v", ratio)
+	}
+	if ratio >= 1 {
+		return 1, nil
+	}
+	const maxN = 1 << 22
+	hi := 2
+	for hi < maxN && ConnectivityProbability(hi, ratio) < p {
+		hi *= 2
+	}
+	if hi >= maxN {
+		return 0, fmt.Errorf("unidim: no n <= %d reaches probability %v at ratio %v", maxN, p, ratio)
+	}
+	lo := hi / 2
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if ConnectivityProbability(mid, ratio) >= p {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// ThresholdProduct returns l*ln(l), the critical magnitude of the product
+// r*n from Theorem 5: the communication graph is a.a.s. connected iff
+// rn ∈ Omega(l log l).
+func ThresholdProduct(l float64) float64 {
+	if l <= 1 {
+		return 0
+	}
+	return l * math.Log(l)
+}
+
+// WorstCaseRadius returns the transmitting range required when the adversary
+// places the nodes: Theta(l), realized by clustering nodes at the two ends of
+// the segment.
+func WorstCaseRadius(l float64) float64 { return l }
+
+// BestCaseRadius returns the range sufficient under the best placement: the
+// paper's equally spaced nodes at intervals of l/n.
+func BestCaseRadius(n int, l float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return l / float64(n)
+}
+
+// CellBitString subdivides [0,l] into c cells of equal width and returns the
+// occupancy bit string B of Lemma 1: bit i is true iff cell i contains at
+// least one of the given node positions. Positions outside [0,l] are clamped
+// into the boundary cells.
+func CellBitString(xs []float64, l float64, c int) []bool {
+	bits := make([]bool, c)
+	if c <= 0 || l <= 0 {
+		return bits
+	}
+	for _, x := range xs {
+		idx := int(float64(c) * x / l)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= c {
+			idx = c - 1
+		}
+		bits[idx] = true
+	}
+	return bits
+}
+
+// HasGapPattern reports whether the bit string contains a substring of the
+// form {10*1}: an empty cell (run) separating two occupied cells. By
+// Lemma 1, such a pattern in the cell string with cell width >= r implies the
+// communication graph is disconnected.
+func HasGapPattern(bits []bool) bool {
+	seenOne := false
+	gapOpen := false
+	for _, b := range bits {
+		switch {
+		case b && gapOpen:
+			return true
+		case b:
+			seenOne = true
+		case seenOne:
+			gapOpen = true
+		}
+	}
+	return false
+}
+
+// ConsecutiveOnesProbability returns the Lemma 2 conditional probability that
+// the C-k occupied cells are consecutive given exactly k empty cells:
+// (k+1) / C(C,k). (All placements of the k empty cells are equally likely by
+// symmetry; k+1 of them leave the occupied cells in one run.)
+func ConsecutiveOnesProbability(k, c int) float64 {
+	if k < 0 || k > c || c <= 0 {
+		return 0
+	}
+	if k == c {
+		return 1 // vacuous: no occupied cells
+	}
+	p := math.Exp(math.Log(float64(k+1)) - stats.LogBinomial(c, k))
+	if p > 1 {
+		// exp/log evaluation of an exactly-1 ratio can land one ulp high.
+		p = 1
+	}
+	return p
+}
+
+// GapPatternProbability returns the exact probability of the event E^{10*1}
+// of Lemma 1 — the cell string of n uniform nodes in C equal cells contains
+// an empty run separating occupied cells — by conditioning on the number of
+// empty cells exactly as in the paper's Equation (1):
+//
+//	P(E^{10*1}) = sum_k P(mu(n,C)=k) * (1 - (k+1)/C(C,k)).
+func GapPatternProbability(n, c int) (float64, error) {
+	pmf, err := occupancy.EmptyCellsPMF(n, c)
+	if err != nil {
+		return 0, err
+	}
+	p := 0.0
+	for k, pk := range pmf {
+		if pk == 0 {
+			continue
+		}
+		p += pk * (1 - ConsecutiveOnesProbability(k, c))
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// TheoremFourRegime describes a choice of r(l) and n(l) inside the critical
+// strip l << rn << l log l used by Theorem 4. With f(l) = sqrt(log l) it
+// realizes rn = l*sqrt(log l), and Theorem 4 predicts that P(E^{10*1}) stays
+// bounded away from zero as l grows.
+type TheoremFourRegime struct {
+	L float64 // region length
+	N int     // node count
+	R float64 // transmitting range
+}
+
+// NewTheoremFourRegime instantiates the regime used in the proof of
+// Theorem 4: r = delta*l/e^{f(l)} with f(l) = sqrt(log l) and n chosen so
+// that rn = l*f(l) (midway inside the strip). delta tunes the constant; the
+// proof requires 0 < delta <= 2*pi.
+func NewTheoremFourRegime(l, delta float64) (TheoremFourRegime, error) {
+	if l <= math.E {
+		return TheoremFourRegime{}, fmt.Errorf("unidim: regime needs l > e, got %v", l)
+	}
+	if delta <= 0 || delta > 2*math.Pi {
+		return TheoremFourRegime{}, fmt.Errorf("unidim: delta must be in (0, 2*pi], got %v", delta)
+	}
+	f := math.Sqrt(math.Log(l))
+	r := delta * l / math.Exp(f)
+	n := int(math.Ceil(l * f / r))
+	return TheoremFourRegime{L: l, N: n, R: r}, nil
+}
+
+// Cells returns the cell count C = floor(l/r) for the Lemma 1 subdivision.
+func (t TheoremFourRegime) Cells() int {
+	return int(math.Floor(t.L / t.R))
+}
+
+// SimulateGapPattern estimates by Monte Carlo, for the given placement law
+// (n uniform nodes on [0,l], C cells), the probabilities of the E^{10*1}
+// event and of actual disconnection at range r, returning both. The first is
+// a lower bound witness for the second (Lemma 1).
+func SimulateGapPattern(rng *xrand.Rand, n int, l, r float64, trials int) (gapFrac, disconnectedFrac float64) {
+	if trials <= 0 {
+		return 0, 0
+	}
+	c := int(math.Floor(l / r))
+	if c < 1 {
+		c = 1
+	}
+	gaps, disc := 0, 0
+	xs := make([]float64, n)
+	for t := 0; t < trials; t++ {
+		for i := range xs {
+			xs[i] = rng.Float64() * l
+		}
+		if HasGapPattern(CellBitString(xs, l, c)) {
+			gaps++
+		}
+		if !connected1D(xs, r) {
+			disc++
+		}
+	}
+	return float64(gaps) / float64(trials), float64(disc) / float64(trials)
+}
+
+// connected1D reports whether the 1-D placement is connected at range r.
+func connected1D(xs []float64, r float64) bool {
+	if len(xs) <= 1 {
+		return true
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i]-sorted[i-1] > r {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,551 @@
+package unidim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"adhocnet/internal/xrand"
+)
+
+func TestConnectivityProbabilityTrivial(t *testing.T) {
+	if got := ConnectivityProbability(0, 0.5); got != 1 {
+		t.Errorf("n=0: %v, want 1", got)
+	}
+	if got := ConnectivityProbability(1, 0.0001); got != 1 {
+		t.Errorf("n=1: %v, want 1", got)
+	}
+	if got := ConnectivityProbability(5, 1); got != 1 {
+		t.Errorf("ratio=1: %v, want 1", got)
+	}
+	if got := ConnectivityProbability(5, 1.5); got != 1 {
+		t.Errorf("ratio>1: %v, want 1", got)
+	}
+	if got := ConnectivityProbability(5, 0); got != 0 {
+		t.Errorf("ratio=0: %v, want 0", got)
+	}
+	if got := ConnectivityProbability(5, -0.2); got != 0 {
+		t.Errorf("ratio<0: %v, want 0", got)
+	}
+}
+
+func TestConnectivityProbabilityN2ClosedForm(t *testing.T) {
+	// For n=2: P = 1 - (1-x)^2 = 2x - x^2.
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		want := 2*x - x*x
+		if got := ConnectivityProbability(2, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=2 x=%v: %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestConnectivityProbabilityN3ClosedForm(t *testing.T) {
+	// n=3: P = 1 - 2(1-x)^3 + (1-2x)_+^3.
+	for _, x := range []float64{0.1, 0.3, 0.4, 0.6, 0.8} {
+		want := 1 - 2*math.Pow(1-x, 3)
+		if 1-2*x > 0 {
+			want += math.Pow(1-2*x, 3)
+		}
+		if got := ConnectivityProbability(3, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=3 x=%v: %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestConnectivityProbabilityMonotoneInRatio(t *testing.T) {
+	for _, n := range []int{2, 5, 20, 100} {
+		prev := -1.0
+		for x := 0.0; x <= 1.0; x += 0.02 {
+			p := ConnectivityProbability(n, x)
+			if p < prev-1e-12 {
+				t.Fatalf("n=%d: probability decreased at x=%v (%v -> %v)", n, x, prev, p)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("n=%d x=%v: probability %v outside [0,1]", n, x, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestConnectivityProbabilityLargeNStable(t *testing.T) {
+	// The big.Float evaluation must stay in [0,1] and be monotone even for
+	// large n where float64 inclusion-exclusion would explode.
+	for _, n := range []int{500, 2000, 10000} {
+		// Threshold regime: x ~ ln(n)/n.
+		x := math.Log(float64(n)) / float64(n)
+		p := ConnectivityProbability(n, x)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("n=%d x=%v: unstable probability %v", n, x, p)
+		}
+		// Far above threshold: certainty.
+		if got := ConnectivityProbability(n, 10*x); got < 0.999 {
+			t.Errorf("n=%d 10x threshold: p=%v, want ~1", n, got)
+		}
+		// Far below threshold: near zero.
+		if got := ConnectivityProbability(n, x/10); got > 0.001 {
+			t.Errorf("n=%d x/10 threshold: p=%v, want ~0", n, got)
+		}
+	}
+}
+
+func TestConnectivityProbabilityMatchesMonteCarlo(t *testing.T) {
+	rng := xrand.New(77)
+	const trials = 20000
+	for _, tc := range []struct {
+		n int
+		x float64
+	}{
+		{4, 0.3}, {8, 0.25}, {16, 0.2}, {32, 0.12}, {64, 0.07},
+	} {
+		hits := 0
+		xs := make([]float64, tc.n)
+		for trial := 0; trial < trials; trial++ {
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+			if connected1D(xs, tc.x) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		want := ConnectivityProbability(tc.n, tc.x)
+		sigma := math.Sqrt(want*(1-want)/trials) + 1e-9
+		if math.Abs(got-want) > 5*sigma+0.005 {
+			t.Errorf("n=%d x=%v: MC %v vs exact %v", tc.n, tc.x, got, want)
+		}
+	}
+}
+
+func TestPoissonApproximationSharpInThresholdRegime(t *testing.T) {
+	// The Poisson approximation error decays roughly like 1/n in the
+	// threshold window; check both the absolute quality and the decay.
+	tolerances := map[int]float64{100: 0.05, 1000: 0.012, 4000: 0.004}
+	for n, tol := range tolerances {
+		for _, c := range []float64{-1, 0, 1, 2} {
+			// x = (ln n + c)/n: P(conn) -> exp(-e^{-c}).
+			x := (math.Log(float64(n)) + c) / float64(n)
+			exact := ConnectivityProbability(n, x)
+			approx := ConnectivityProbabilityPoisson(n, x)
+			if math.Abs(exact-approx) > tol {
+				t.Errorf("n=%d c=%v: exact %v vs Poisson %v (tol %v)", n, c, exact, approx, tol)
+			}
+		}
+	}
+}
+
+func TestExpectedLongGaps(t *testing.T) {
+	if got := ExpectedLongGaps(1, 0.5); got != 0 {
+		t.Errorf("n=1: %v", got)
+	}
+	if got := ExpectedLongGaps(5, 1.2); got != 0 {
+		t.Errorf("ratio>1: %v", got)
+	}
+	// n=2, x=0.25: 1 * 0.75^2 = 0.5625.
+	if got := ExpectedLongGaps(2, 0.25); math.Abs(got-0.5625) > 1e-12 {
+		t.Errorf("n=2: %v", got)
+	}
+}
+
+func TestExpectedIsolatedNodesAgainstMonteCarlo(t *testing.T) {
+	rng := xrand.New(99)
+	const trials = 30000
+	for _, tc := range []struct {
+		n int
+		x float64
+	}{
+		{8, 0.1}, {16, 0.05}, {32, 0.04}, {64, 0.02},
+	} {
+		total := 0
+		xs := make([]float64, tc.n)
+		for trial := 0; trial < trials; trial++ {
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+			for i := range xs {
+				isolated := true
+				for j := range xs {
+					if i != j && math.Abs(xs[i]-xs[j]) <= tc.x {
+						isolated = false
+						break
+					}
+				}
+				if isolated {
+					total++
+				}
+			}
+		}
+		got := float64(total) / trials
+		want := ExpectedIsolatedNodes(tc.n, tc.x)
+		if math.Abs(got-want) > 0.05*(1+want) {
+			t.Errorf("n=%d x=%v: MC %v vs exact %v", tc.n, tc.x, got, want)
+		}
+	}
+}
+
+func TestExpectedIsolatedNodesEdges(t *testing.T) {
+	if got := ExpectedIsolatedNodes(0, 0.5); got != 0 {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := ExpectedIsolatedNodes(1, 0.5); got != 1 {
+		t.Errorf("n=1: %v (a lone node is isolated)", got)
+	}
+	if got := ExpectedIsolatedNodes(10, 1); got != 0 {
+		t.Errorf("full range: %v", got)
+	}
+	if got := ExpectedIsolatedNodes(10, -1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("zero range: %v, want 10", got)
+	}
+}
+
+func TestComponentMomentsAgainstMonteCarlo(t *testing.T) {
+	rng := xrand.New(111)
+	const trials = 30000
+	for _, tc := range []struct {
+		n int
+		x float64
+	}{
+		{8, 0.1}, {16, 0.06}, {32, 0.05},
+	} {
+		var sum, sumSq float64
+		xs := make([]float64, tc.n)
+		for trial := 0; trial < trials; trial++ {
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+			comps := components1D(xs, tc.x)
+			sum += float64(comps)
+			sumSq += float64(comps) * float64(comps)
+		}
+		mean := sum / trials
+		variance := sumSq/trials - mean*mean
+		wantMean := ExpectedComponents(tc.n, tc.x)
+		wantVar := VarianceComponents(tc.n, tc.x)
+		if math.Abs(mean-wantMean) > 0.05*(1+wantMean) {
+			t.Errorf("n=%d x=%v: MC mean %v vs exact %v", tc.n, tc.x, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*(1+wantVar) {
+			t.Errorf("n=%d x=%v: MC variance %v vs exact %v", tc.n, tc.x, variance, wantVar)
+		}
+	}
+}
+
+// components1D counts connected components of the 1-D point graph.
+func components1D(xs []float64, r float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	comps := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i]-sorted[i-1] > r {
+			comps++
+		}
+	}
+	return comps
+}
+
+func TestComponentMomentsEdges(t *testing.T) {
+	if got := ExpectedComponents(0, 0.5); got != 0 {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := ExpectedComponents(1, 0.5); got != 1 {
+		t.Errorf("n=1: %v", got)
+	}
+	// Full range: exactly one component, zero variance.
+	if got := ExpectedComponents(10, 1); got != 1 {
+		t.Errorf("ratio=1: %v", got)
+	}
+	if got := VarianceComponents(10, 1); got != 0 {
+		t.Errorf("ratio=1 variance: %v", got)
+	}
+	if got := VarianceComponents(1, 0.5); got != 0 {
+		t.Errorf("n=1 variance: %v", got)
+	}
+	// Zero range: n components deterministically.
+	if got := ExpectedComponents(10, 0); got != 10 {
+		t.Errorf("ratio=0: %v", got)
+	}
+	if got := VarianceComponents(10, 0); got != 0 {
+		t.Errorf("ratio=0 variance: %v", got)
+	}
+}
+
+func TestRadiusForConnectivity(t *testing.T) {
+	for _, n := range []int{2, 10, 50} {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			x, err := RadiusForConnectivity(n, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ConnectivityProbability(n, x); got < p {
+				t.Errorf("n=%d p=%v: probability at returned radius = %v", n, p, got)
+			}
+			if x > 1e-9 {
+				if got := ConnectivityProbability(n, x-1e-9); got >= p {
+					t.Errorf("n=%d p=%v: radius %v not minimal", n, p, x)
+				}
+			}
+		}
+	}
+}
+
+func TestRadiusForConnectivityValidation(t *testing.T) {
+	if _, err := RadiusForConnectivity(10, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := RadiusForConnectivity(10, 1); err == nil {
+		t.Error("p=1 should fail")
+	}
+	if x, err := RadiusForConnectivity(1, 0.9); err != nil || x != 0 {
+		t.Errorf("n=1: (%v, %v), want (0, nil)", x, err)
+	}
+}
+
+func TestNodesForConnectivity(t *testing.T) {
+	n, err := NodesForConnectivity(0.2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ConnectivityProbability(n, 0.2) < 0.9 {
+		t.Errorf("returned n=%d does not reach target", n)
+	}
+	if n > 2 && ConnectivityProbability(n-1, 0.2) >= 0.9 {
+		t.Errorf("n=%d not minimal", n)
+	}
+}
+
+func TestNodesForConnectivityValidation(t *testing.T) {
+	if _, err := NodesForConnectivity(0, 0.9); err == nil {
+		t.Error("ratio=0 should fail")
+	}
+	if _, err := NodesForConnectivity(0.5, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if n, err := NodesForConnectivity(1.5, 0.9); err != nil || n != 1 {
+		t.Errorf("ratio>=1: (%v,%v), want (1,nil)", n, err)
+	}
+}
+
+func TestWorstBestCaseRadii(t *testing.T) {
+	if WorstCaseRadius(100) != 100 {
+		t.Error("worst case should be l")
+	}
+	if BestCaseRadius(10, 100) != 10 {
+		t.Error("best case should be l/n")
+	}
+	if BestCaseRadius(0, 100) != 0 {
+		t.Error("best case with no nodes should be 0")
+	}
+}
+
+func TestThresholdProduct(t *testing.T) {
+	if got := ThresholdProduct(math.E); math.Abs(got-math.E) > 1e-12 {
+		t.Errorf("l=e: %v, want e", got)
+	}
+	if got := ThresholdProduct(0.5); got != 0 {
+		t.Errorf("l<1: %v, want 0", got)
+	}
+}
+
+func TestCellBitString(t *testing.T) {
+	bits := CellBitString([]float64{0.5, 2.5, 9.9}, 10, 10)
+	want := []bool{true, false, true, false, false, false, false, false, false, true}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d = %v, want %v (%v)", i, bits[i], want[i], bits)
+		}
+	}
+	// Boundary x = l lands in the last cell; out-of-range values clamp.
+	bits = CellBitString([]float64{10, -1, 11}, 10, 2)
+	if !bits[0] || !bits[1] {
+		t.Fatalf("clamping failed: %v", bits)
+	}
+	if got := CellBitString([]float64{1}, 10, 0); len(got) != 0 {
+		t.Fatalf("c=0 should give empty string, got %v", got)
+	}
+}
+
+func TestHasGapPattern(t *testing.T) {
+	cases := []struct {
+		bits []bool
+		want bool
+	}{
+		{[]bool{}, false},
+		{[]bool{false, false}, false},
+		{[]bool{true, true, true}, false},
+		{[]bool{false, true, true, false}, false}, // leading/trailing zeros fine
+		{[]bool{true, false, true}, true},
+		{[]bool{true, false, false, true}, true}, // 10*1 with a longer run
+		{[]bool{false, true, false, true, false}, true},
+		{[]bool{true}, false},
+		{[]bool{false, true, false}, false},
+	}
+	for _, c := range cases {
+		if got := HasGapPattern(c.bits); got != c.want {
+			t.Errorf("HasGapPattern(%v) = %v, want %v", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestConsecutiveOnesProbability(t *testing.T) {
+	// C=3, k=1: configurations of 1 empty cell: 3; consecutive-ones ones: 2
+	// (empty at either end). (k+1)/C(C,k) = 2/3.
+	if got := ConsecutiveOnesProbability(1, 3); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("k=1,C=3: %v, want 2/3", got)
+	}
+	if got := ConsecutiveOnesProbability(0, 5); got != 1 {
+		t.Errorf("k=0: %v, want 1", got)
+	}
+	if got := ConsecutiveOnesProbability(5, 5); got != 1 {
+		t.Errorf("k=C: %v, want 1", got)
+	}
+	if got := ConsecutiveOnesProbability(-1, 5); got != 0 {
+		t.Errorf("k<0: %v, want 0", got)
+	}
+	if got := ConsecutiveOnesProbability(6, 5); got != 0 {
+		t.Errorf("k>C: %v, want 0", got)
+	}
+}
+
+func TestConsecutiveOnesProbabilityByEnumeration(t *testing.T) {
+	// Brute force over all C-choose-k empty-cell placements for small C.
+	for c := 2; c <= 10; c++ {
+		for k := 0; k <= c; k++ {
+			total, consecutive := 0, 0
+			for mask := 0; mask < 1<<c; mask++ {
+				if popcount(mask) != k {
+					continue
+				}
+				total++
+				bits := make([]bool, c)
+				for i := 0; i < c; i++ {
+					bits[i] = mask&(1<<i) == 0 // empty cells are the set bits
+				}
+				if !HasGapPattern(bits) {
+					consecutive++
+				}
+			}
+			want := float64(consecutive) / float64(total)
+			if got := ConsecutiveOnesProbability(k, c); math.Abs(got-want) > 1e-9 {
+				t.Errorf("C=%d k=%d: formula %v, enumeration %v", c, k, got, want)
+			}
+		}
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestGapPatternProbabilityAgainstSimulation(t *testing.T) {
+	rng := xrand.New(5)
+	n, l, r := 40, 100.0, 5.0 // C = 20 cells
+	c := 20
+	exact, err := GapPatternProbability(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapFrac, discFrac := SimulateGapPattern(rng, n, l, r, 20000)
+	sigma := math.Sqrt(exact*(1-exact)/20000) + 1e-9
+	if math.Abs(gapFrac-exact) > 5*sigma+0.01 {
+		t.Errorf("gap pattern: simulated %v vs exact %v", gapFrac, exact)
+	}
+	// Lemma 1: the pattern implies disconnection, so the simulated
+	// disconnection frequency must dominate the pattern frequency.
+	if discFrac+1e-9 < gapFrac {
+		t.Errorf("disconnection rate %v below gap-pattern rate %v (violates Lemma 1)", discFrac, gapFrac)
+	}
+}
+
+func TestGapPatternProbabilityValidation(t *testing.T) {
+	if _, err := GapPatternProbability(5, 0); err == nil {
+		t.Error("C=0 should fail")
+	}
+}
+
+func TestTheoremFourRegime(t *testing.T) {
+	reg, err := NewTheoremFourRegime(4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the strip: l << rn << l log l.
+	rn := reg.R * float64(reg.N)
+	l := reg.L
+	if rn < l {
+		t.Errorf("rn = %v below l = %v", rn, l)
+	}
+	if rn > l*math.Log(l) {
+		t.Errorf("rn = %v above l log l = %v", rn, l*math.Log(l))
+	}
+	if reg.Cells() < 2 {
+		t.Errorf("cells = %d too few", reg.Cells())
+	}
+}
+
+func TestTheoremFourRegimeValidation(t *testing.T) {
+	if _, err := NewTheoremFourRegime(2, 1); err == nil {
+		t.Error("l <= e should fail")
+	}
+	if _, err := NewTheoremFourRegime(100, 0); err == nil {
+		t.Error("delta = 0 should fail")
+	}
+	if _, err := NewTheoremFourRegime(100, 7); err == nil {
+		t.Error("delta > 2pi should fail")
+	}
+}
+
+func TestSimulateGapPatternDegenerate(t *testing.T) {
+	rng := xrand.New(1)
+	g, d := SimulateGapPattern(rng, 5, 10, 3, 0)
+	if g != 0 || d != 0 {
+		t.Error("zero trials should return zeros")
+	}
+	// r > l: a single cell, never a gap pattern; always connected for r > l.
+	g, d = SimulateGapPattern(rng, 5, 10, 20, 100)
+	if g != 0 || d != 0 {
+		t.Errorf("huge range: gap %v disc %v, want 0, 0", g, d)
+	}
+}
+
+func TestConnected1D(t *testing.T) {
+	if !connected1D([]float64{1}, 0.1) {
+		t.Error("single node should be connected")
+	}
+	if !connected1D([]float64{3, 1, 2}, 1) {
+		t.Error("chain should be connected")
+	}
+	if connected1D([]float64{0, 5}, 1) {
+		t.Error("distant pair should be disconnected")
+	}
+	if !connected1D(nil, 1) {
+		t.Error("empty placement should be connected")
+	}
+}
+
+func BenchmarkConnectivityProbabilityN100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ConnectivityProbability(100, 0.05)
+	}
+}
+
+func BenchmarkConnectivityProbabilityN1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ConnectivityProbability(1000, 0.008)
+	}
+}
+
+func BenchmarkGapPatternProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GapPatternProbability(128, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
