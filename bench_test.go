@@ -7,6 +7,7 @@ package adhocnet_test
 // use cmd/repro for full-scale regeneration.
 
 import (
+	"math"
 	"testing"
 
 	"adhocnet/internal/core"
@@ -14,6 +15,7 @@ import (
 	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/mobility"
+	"adhocnet/internal/spatial"
 	"adhocnet/internal/xrand"
 )
 
@@ -108,15 +110,61 @@ func BenchmarkAblationFixedRangeDirect(b *testing.B) {
 	}
 }
 
-// Core micro-benchmarks sizing the per-snapshot cost at the paper's largest
-// configuration (n = 128 in [0,16384]^2).
+// Core micro-benchmarks sizing the per-snapshot cost, from the paper's
+// largest configuration (n = 128 in [0,16384]^2, kept at the same density
+// for larger n) up to the scaling regimes the grid-accelerated MST targets.
+// The workspace variants measure the steady-state simulation path (reused
+// scratch, expected 0 allocs/op); the dense-Prim baselines quantify the
+// GeoMST speedup (DESIGN.md, "Grid-accelerated MST").
 
-func BenchmarkSnapshotProfileN128(b *testing.B) {
-	reg := geom.MustRegion(16384, 2)
-	pts := reg.UniformPoints(xrand.New(1), 128)
+func BenchmarkSnapshotProfileN128(b *testing.B)  { benchSnapshotProfile(b, 128) }
+func BenchmarkSnapshotProfileN512(b *testing.B)  { benchSnapshotProfile(b, 512) }
+func BenchmarkSnapshotProfileN2048(b *testing.B) { benchSnapshotProfile(b, 2048) }
+
+func benchSnapshotProfile(b *testing.B, n int) {
+	pts := benchPlacement(n)
+	ws := graph.NewWorkspace()
+	ws.Profile(pts, 2) // warm the workspace buffers
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		graph.NewProfile(pts)
+		ws.Profile(pts, 2)
+	}
+}
+
+// benchPlacement samples n points at the paper's n=128 density (128 nodes in
+// [0,16384]^2), so all sizes probe the same sparse regime.
+func benchPlacement(n int) []geom.Point {
+	side := 16384 * math.Sqrt(float64(n)/128)
+	reg := geom.MustRegion(side, 2)
+	return reg.UniformPoints(xrand.New(1), n)
+}
+
+func BenchmarkDensePrimMSTN128(b *testing.B)  { benchDensePrim(b, 128) }
+func BenchmarkDensePrimMSTN512(b *testing.B)  { benchDensePrim(b, 512) }
+func BenchmarkDensePrimMSTN2048(b *testing.B) { benchDensePrim(b, 2048) }
+
+func benchDensePrim(b *testing.B, n int) {
+	pts := benchPlacement(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.PrimMST(pts)
+	}
+}
+
+func BenchmarkNearestNeighborN128(b *testing.B)  { benchNearestNeighbor(b, 128) }
+func BenchmarkNearestNeighborN2048(b *testing.B) { benchNearestNeighbor(b, 2048) }
+
+func benchNearestNeighbor(b *testing.B, n int) {
+	pts := benchPlacement(n)
+	dst := make([]float64, n)
+	var ix spatial.Index
+	spatial.NearestNeighborDistancesInto(dst, pts, &ix) // warm the grid storage
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spatial.NearestNeighborDistancesInto(dst, pts, &ix)
 	}
 }
 

@@ -10,15 +10,23 @@
 //     1-D connectivity results of Section 3 (internal/unidim), including the
 //     {10*1} cell-pattern machinery behind Theorem 4;
 //   - the substrates those need: deterministic splittable PRNG
-//     (internal/xrand), geometry (internal/geom), neighbor search
-//     (internal/spatial), graph/MST/connectivity-profile algorithms
+//     (internal/xrand), geometry (internal/geom), CSR cell-grid neighbor
+//     search (internal/spatial), graph/MST/connectivity-profile algorithms
 //     (internal/graph), statistics (internal/stats), and mobility traces
 //     (internal/trace);
 //   - runners regenerating every figure of the paper's evaluation plus
 //     theory-validation experiments (internal/experiments), exposed through
 //     the cmd/repro, cmd/adhocsim, cmd/occutool and cmd/mobgen binaries.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
-// bench_test.go regenerate each figure through the testing.B harness.
+// Performance architecture: every snapshot's connectivity is derived from
+// its Euclidean MST, computed by a grid-accelerated filtered Kruskal
+// (graph.GeoMST, near-linear in practice, dense-Prim fallback for tiny n)
+// over reusable per-worker scratch (graph.Workspace), so steady-state
+// snapshot evaluation allocates nothing and scales two orders of magnitude
+// beyond the paper's n = 128. DESIGN.md documents the algorithm, its
+// exactness contract against the dense Prim, and the workspace-reuse rules.
+//
+// See DESIGN.md for the system inventory and key algorithmic decisions. The
+// benchmarks in bench_test.go regenerate each figure through the testing.B
+// harness and track the per-snapshot cost at n = 128 through 2048.
 package adhocnet

@@ -1,0 +1,3 @@
+module adhocnet
+
+go 1.24

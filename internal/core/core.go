@@ -90,8 +90,10 @@ func (c RunConfig) workers() int {
 }
 
 // snapshotProfile computes the connectivity profile of a placement, using
-// the O(n log n) sorted-gaps algorithm in one dimension and the O(n^2) MST
-// otherwise.
+// the O(n log n) sorted-gaps algorithm in one dimension and the Euclidean
+// MST otherwise. It allocates a fresh profile per call; the simulation loops
+// use the workspace path instead (graph.Workspace.Profile), which reuses all
+// scratch storage across snapshots.
 func snapshotProfile(pts []geom.Point, dim int) *graph.Profile {
 	if dim == 1 {
 		xs := make([]float64, len(pts))
@@ -104,9 +106,14 @@ func snapshotProfile(pts []geom.Point, dim int) *graph.Profile {
 }
 
 // forEachIteration runs fn for every iteration index with a private,
-// deterministically derived random stream, using a bounded worker pool. It
-// returns the first error encountered (all workers are always awaited).
-func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand) error) error {
+// deterministically derived random stream, using a bounded worker pool. Each
+// worker owns one graph.Workspace that fn reuses across its iterations, so
+// steady-state snapshot evaluation allocates nothing. Results must not
+// depend on which worker runs which iteration (the per-iteration stream and
+// a workspace are the only shared state handed to fn), which is what keeps
+// RunConfig determinism independent of Workers. It returns the first error
+// encountered (all workers are always awaited).
+func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand, ws *graph.Workspace) error) error {
 	seeds := xrand.New(cfg.Seed).SplitN(cfg.Iterations)
 
 	workers := cfg.workers()
@@ -123,8 +130,9 @@ func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand) error) e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := graph.NewWorkspace()
 			for iter := range next {
-				if err := fn(iter, seeds[iter]); err != nil {
+				if err := fn(iter, seeds[iter], ws); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -145,7 +153,9 @@ func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand) error) e
 // runTrajectory simulates one iteration of the network and invokes visit
 // with the snapshot index and the connectivity profile of every evaluated
 // snapshot (the initial placement first, then after each mobility step).
-func runTrajectory(net Network, steps int, rng *xrand.Rand, visit func(step int, p *graph.Profile)) error {
+// The profile handed to visit is transient workspace storage, overwritten by
+// the next snapshot: visit must Clone it to retain it.
+func runTrajectory(net Network, steps int, rng *xrand.Rand, ws *graph.Workspace, visit func(step int, p *graph.Profile)) error {
 	state, err := net.Model.NewState(rng, net.Region, net.Nodes)
 	if err != nil {
 		return err
@@ -154,7 +164,7 @@ func runTrajectory(net Network, steps int, rng *xrand.Rand, visit func(step int,
 		if t > 0 {
 			state.Step()
 		}
-		visit(t, snapshotProfile(state.Positions(), net.Region.Dim))
+		visit(t, ws.Profile(state.Positions(), net.Region.Dim))
 	}
 	return nil
 }

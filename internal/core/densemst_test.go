@@ -1,0 +1,119 @@
+package core
+
+// Cross-validation of the grid-accelerated snapshot pipeline against the
+// dense O(n^2) Prim reference: with a fixed seed, every estimate must be
+// bit-identical to what a trajectory evaluated through graph.NewProfile
+// (dense PrimMST) produces, and independent of the worker count.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/graph"
+	"adhocnet/internal/mobility"
+)
+
+// denseEstimateReference recomputes EstimateRanges' per-iteration values
+// using the allocating dense-Prim profile path (snapshotProfile), mirroring
+// forEachIteration's seed derivation exactly.
+func denseEstimateReference(t *testing.T, net Network, cfg RunConfig, targets RangeTargets) (timeVals, compVals [][]float64) {
+	t.Helper()
+	timeVals = make([][]float64, len(targets.TimeFractions))
+	for i := range timeVals {
+		timeVals[i] = make([]float64, cfg.Iterations)
+	}
+	compVals = make([][]float64, len(targets.ComponentFractions))
+	for i := range compVals {
+		compVals[i] = make([]float64, cfg.Iterations)
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		state, err := net.Model.NewState(seedForIteration(cfg, iter), net.Region, net.Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var profiles []*graph.Profile
+		var criticals []float64
+		for step := 0; step < cfg.Steps; step++ {
+			if step > 0 {
+				state.Step()
+			}
+			p := snapshotProfile(state.Positions(), net.Region.Dim)
+			profiles = append(profiles, p)
+			criticals = append(criticals, p.Critical())
+		}
+		sort.Float64s(criticals)
+		for i, f := range targets.TimeFractions {
+			timeVals[i][iter] = quantileForTimeFraction(criticals, f)
+		}
+		for i, g := range targets.ComponentFractions {
+			compVals[i][iter] = radiusForAverageLargest(profiles, net.Nodes, g)
+		}
+	}
+	return timeVals, compVals
+}
+
+func TestEstimateRangesUnchangedFromDensePrim(t *testing.T) {
+	targets := PaperTargets()
+	for _, tc := range []struct {
+		name string
+		net  Network
+	}{
+		// n = 128 in [0,16384]^2 is the paper's sparse regime and is above
+		// the dense cutoff, so the grid Borůvka path is exercised.
+		{"waypoint-sparse", testNetwork(16384, 128, quickWaypoint(16384))},
+		{"drunkard", testNetwork(512, 64, mobility.PaperDrunkard(512))},
+		{"one-dim", testNetwork(1024, 96, quickWaypoint(1024))},
+	} {
+		net := tc.net
+		if tc.name == "one-dim" {
+			net.Region.Dim = 1
+		}
+		cfg := RunConfig{Iterations: 3, Steps: 12, Seed: 923, Workers: 2}
+		est, err := EstimateRanges(net, cfg, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		timeVals, compVals := denseEstimateReference(t, net, cfg, targets)
+		for i := range targets.TimeFractions {
+			for iter, want := range timeVals[i] {
+				if got := est.Time[i].PerIteration[iter]; got != want {
+					t.Fatalf("%s: time target %v iter %d: %v != dense %v",
+						tc.name, targets.TimeFractions[i], iter, got, want)
+				}
+			}
+		}
+		for i := range targets.ComponentFractions {
+			for iter, want := range compVals[i] {
+				if got := est.Component[i].PerIteration[iter]; got != want {
+					t.Fatalf("%s: component target %v iter %d: %v != dense %v",
+						tc.name, targets.ComponentFractions[i], iter, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStationaryCriticalSampleUnchangedFromDensePrim(t *testing.T) {
+	reg := geom.MustRegion(16384, 2)
+	got, err := StationaryCriticalSample(reg, 128, 40, 77, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{Iterations: 40, Steps: 1, Seed: 77, Workers: 1}
+	want := make([]float64, 40)
+	for iter := range want {
+		pts := reg.UniformPoints(seedForIteration(cfg, iter), 128)
+		want[iter] = snapshotProfile(pts, reg.Dim).Critical()
+	}
+	sort.Float64s(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v != dense %v (diff %g)", i, got[i], want[i], got[i]-want[i])
+		}
+	}
+	if math.IsNaN(got[0]) {
+		t.Fatal("NaN in critical sample")
+	}
+}

@@ -136,11 +136,14 @@ func EstimateRanges(net Network, cfg RunConfig, targets RangeTargets) (RangeEsti
 		compVals[i] = make([]float64, cfg.Iterations)
 	}
 
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand) error {
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
 		profiles := make([]*graph.Profile, 0, cfg.Steps)
 		criticals := make([]float64, 0, cfg.Steps)
-		err := runTrajectory(net, cfg.Steps, rng, func(_ int, p *graph.Profile) {
-			profiles = append(profiles, p)
+		err := runTrajectory(net, cfg.Steps, rng, ws, func(_ int, p *graph.Profile) {
+			// The component-fraction inversion below needs every snapshot's
+			// profile at once, so the transient profile is cloned (the one
+			// retained per-snapshot allocation of this path).
+			profiles = append(profiles, p.Clone())
 			criticals = append(criticals, p.Critical())
 		})
 		if err != nil {

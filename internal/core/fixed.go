@@ -79,12 +79,12 @@ func EvaluateFixedRanges(net Network, cfg RunConfig, radii []float64) ([]FixedRa
 		perIter[i] = make([]IterationResult, cfg.Iterations)
 	}
 
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand) error {
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
 		accs := make([]fixedAccumulator, len(radii))
 		for i := range accs {
 			accs[i].minLargest = net.Nodes + 1
 		}
-		err := runTrajectory(net, cfg.Steps, rng, func(_ int, p *graph.Profile) {
+		err := runTrajectory(net, cfg.Steps, rng, ws, func(_ int, p *graph.Profile) {
 			for i, r := range radii {
 				accs[i].observe(p, r)
 			}
@@ -236,7 +236,7 @@ func DirectFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeRes
 	}
 
 	iters := make([]IterationResult, cfg.Iterations)
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand) error {
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
 		state, err := net.Model.NewState(rng, net.Region, net.Nodes)
 		if err != nil {
 			return err
@@ -246,8 +246,9 @@ func DirectFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeRes
 			if t > 0 {
 				state.Step()
 			}
-			g := graph.BuildPointGraph(state.Positions(), net.Region.Dim, radius)
-			acc.observeDirect(g)
+			g := ws.PointGraph(state.Positions(), net.Region.Dim, radius)
+			components, largest := ws.ComponentSummary(g)
+			acc.observeDirect(components, largest)
 		}
 		iters[iter] = acc.finish()
 		return nil
@@ -258,14 +259,17 @@ func DirectFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeRes
 	return reduceFixed(radius, net.Nodes, cfg.Steps, iters), nil
 }
 
-// observeDirect is observe for an explicitly built communication graph.
-func (a *fixedAccumulator) observeDirect(g *graph.Adjacency) {
+// observeDirect is observe for an explicitly built communication graph,
+// summarized as its component count and largest-component size. At most one
+// component means connected, matching the paper's convention (and
+// Adjacency.Connected) that graphs on fewer than two nodes are trivially
+// connected.
+func (a *fixedAccumulator) observeDirect(components, largest int) {
 	a.steps++
-	largest := g.LargestComponentSize()
 	if largest < a.minLargest {
 		a.minLargest = largest
 	}
-	if g.Connected() {
+	if components <= 1 {
 		a.connected++
 		a.inDisc = false
 		return

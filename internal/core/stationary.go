@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"adhocnet/internal/geom"
+	"adhocnet/internal/graph"
 	"adhocnet/internal/stats"
 	"adhocnet/internal/xrand"
 )
@@ -34,9 +35,10 @@ func StationaryCriticalSample(reg geom.Region, n, samples int, seed uint64, work
 	}
 	cfg := RunConfig{Iterations: samples, Steps: 1, Seed: seed, Workers: workers}
 	out := make([]float64, samples)
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand) error {
-		pts := reg.UniformPoints(rng, n)
-		out[iter] = snapshotProfile(pts, reg.Dim).Critical()
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
+		pts := ws.Points(n)
+		reg.FillUniformPoints(rng, pts)
+		out[iter] = ws.Profile(pts, reg.Dim).Critical()
 		return nil
 	})
 	if err != nil {
@@ -96,13 +98,14 @@ func MinNodesForConnectivity(reg geom.Region, r, p float64, samples int, seed ui
 		}
 		return stats.ECDF(sample, r), nil
 	}
-	// The search cap bounds the cost of hopeless queries: 1-D probes are
-	// O(n log n) per sample, but 2-D/3-D probes pay the O(n^2) MST, so the
-	// cap is much lower there (a fixed-technology dimensioning question
-	// needing more nodes than this is out of the simulator's scope anyway).
+	// The search cap bounds the cost of hopeless queries. 1-D probes are
+	// O(n log n) per sample; 2-D/3-D probes run the grid-accelerated MST,
+	// near-linear per sample, so since the GeoMST rework the caps are of the
+	// same order (a fixed-technology dimensioning question needing more
+	// nodes than this is out of the simulator's scope anyway).
 	maxN := 1 << 20
 	if reg.Dim > 1 {
-		maxN = 1 << 12
+		maxN = 1 << 16
 	}
 	hi := 2
 	for hi < maxN {

@@ -62,7 +62,7 @@ func EvaluateStructure(net Network, cfg RunConfig, radius float64) (StructureRes
 	}
 	accs := make([]iterAcc, cfg.Iterations)
 
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand) error {
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
 		state, err := net.Model.NewState(rng, net.Region, net.Nodes)
 		if err != nil {
 			return err
@@ -72,7 +72,7 @@ func EvaluateStructure(net Network, cfg RunConfig, radius float64) (StructureRes
 			if t > 0 {
 				state.Step()
 			}
-			g := graph.BuildPointGraph(state.Positions(), net.Region.Dim, radius)
+			g := ws.PointGraph(state.Positions(), net.Region.Dim, radius)
 			acc.snapshots++
 			ds := g.DegreeStats()
 			acc.degree.Add(ds.Mean)

@@ -60,6 +60,24 @@ func Paper() Preset {
 	}
 }
 
+// Scale returns the beyond-paper preset enabled by the grid-accelerated MST
+// pipeline (DESIGN.md): region sides up to 2^20, i.e. node counts up to
+// n = sqrt(l) = 1024 — two orders of magnitude past the paper's densities at
+// l = 256 — with the iteration/step budget trimmed so a full run stays
+// laptop-sized. The point sets probed here match the scaling regimes of the
+// critical-connectivity literature (arXiv:0806.2351, arXiv:1303.3783).
+func Scale() Preset {
+	return Preset{
+		Name:               "scale",
+		Iterations:         8,
+		Steps:              200,
+		StationarySamples:  200,
+		Sides:              []float64{16384, 65536, 262144, 1048576},
+		StationaryQuantile: 0.99,
+		Seed:               1,
+	}
+}
+
 // Validate checks the preset.
 func (p Preset) Validate() error {
 	if p.Iterations <= 0 || p.Steps <= 0 || p.StationarySamples <= 0 {
@@ -79,15 +97,17 @@ func (p Preset) Validate() error {
 	return nil
 }
 
-// PresetByName returns the named preset ("quick" or "paper").
+// PresetByName returns the named preset ("quick", "paper" or "scale").
 func PresetByName(name string) (Preset, error) {
 	switch name {
 	case "quick":
 		return Quick(), nil
 	case "paper":
 		return Paper(), nil
+	case "scale":
+		return Scale(), nil
 	default:
-		return Preset{}, fmt.Errorf("experiments: unknown preset %q (want quick or paper)", name)
+		return Preset{}, fmt.Errorf("experiments: unknown preset %q (want quick, paper or scale)", name)
 	}
 }
 

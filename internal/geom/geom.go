@@ -186,10 +186,17 @@ func (g Region) UniformPoint(rng *xrand.Rand) Point {
 // UniformPoints samples n points i.i.d. uniform in the region.
 func (g Region) UniformPoints(rng *xrand.Rand, n int) []Point {
 	pts := make([]Point, n)
+	g.FillUniformPoints(rng, pts)
+	return pts
+}
+
+// FillUniformPoints overwrites every element of pts with an i.i.d. uniform
+// point of the region — UniformPoints into caller-provided storage, for
+// samplers that draw one placement after another without allocating.
+func (g Region) FillUniformPoints(rng *xrand.Rand, pts []Point) {
 	for i := range pts {
 		pts[i] = g.UniformPoint(rng)
 	}
-	return pts
 }
 
 // UniformInBall samples a point uniformly in the d-dimensional ball of the

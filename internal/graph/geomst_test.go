@@ -1,0 +1,218 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// profilesIdentical checks that two profiles describe bit-identical merge
+// radii and agree on every connectivity query. Intermediate largest-after
+// entries inside a run of tied radii may legitimately differ between two
+// valid MSTs, so sizes are compared through the query interface (which only
+// ever observes tie-run boundaries) at, between and beyond every radius.
+func profilesIdentical(t *testing.T, want, got *Profile) {
+	t.Helper()
+	if want.N() != got.N() {
+		t.Fatalf("node count %d != %d", got.N(), want.N())
+	}
+	wr, gr := want.MergeRadii(), got.MergeRadii()
+	if len(wr) != len(gr) {
+		t.Fatalf("merge count %d != %d", len(gr), len(wr))
+	}
+	for i := range wr {
+		if wr[i] != gr[i] {
+			t.Fatalf("merge radius %d: %v != %v (diff %g)", i, gr[i], wr[i], gr[i]-wr[i])
+		}
+	}
+	probes := []float64{0, math.Inf(1)}
+	for _, r := range wr {
+		probes = append(probes, r, math.Nextafter(r, 0), math.Nextafter(r, math.Inf(1)), r/2, r*1.5)
+	}
+	for _, r := range probes {
+		if want.ComponentsAt(r) != got.ComponentsAt(r) {
+			t.Fatalf("ComponentsAt(%v): %d != %d", r, got.ComponentsAt(r), want.ComponentsAt(r))
+		}
+		if want.LargestAt(r) != got.LargestAt(r) {
+			t.Fatalf("LargestAt(%v): %d != %d", r, got.LargestAt(r), want.LargestAt(r))
+		}
+	}
+	if want.Critical() != got.Critical() {
+		t.Fatalf("critical %v != %v", got.Critical(), want.Critical())
+	}
+}
+
+// crossValidate asserts GeoMST against PrimMST on one placement, both via
+// the package-level entry point and via a reused workspace.
+func crossValidate(t *testing.T, pts []geom.Point, dim int, ws *Workspace) {
+	t.Helper()
+	dense := profileFromMST(len(pts), PrimMST(pts))
+	sparse := profileFromMST(len(pts), GeoMST(pts, dim))
+	profilesIdentical(t, dense, sparse)
+	viaWS := profileFromMST(len(pts), ws.GeoMST(pts, dim))
+	profilesIdentical(t, dense, viaWS)
+}
+
+func TestGeoMSTMatchesPrimRandomPlacements(t *testing.T) {
+	rng := xrand.New(7)
+	ws := NewWorkspace()
+	// Side 16384 with n = 128 is the paper's sparsest 2-D regime; the small
+	// sides push many points per grid cell, the large n exercises several
+	// Borůvka rounds above the dense cutoff.
+	for _, dim := range []int{1, 2, 3} {
+		for _, side := range []float64{1, 64, 16384} {
+			for _, n := range []int{3, 17, 48, 49, 128, 333} {
+				reg := geom.MustRegion(side, dim)
+				pts := reg.UniformPoints(rng, n)
+				crossValidate(t, pts, dim, ws)
+			}
+		}
+	}
+}
+
+func TestGeoMSTTinyInputs(t *testing.T) {
+	ws := NewWorkspace()
+	if got := GeoMST(nil, 2); len(got) != 0 {
+		t.Fatalf("empty placement: %d edges", len(got))
+	}
+	if got := ws.GeoMST([]geom.Point{{X: 3}}, 2); len(got) != 0 {
+		t.Fatalf("singleton: %d edges", len(got))
+	}
+	two := []geom.Point{{X: 1, Y: 2}, {X: 4, Y: 6}}
+	got := GeoMST(two, 2)
+	if len(got) != 1 || got[0].D != PrimMST(two)[0].D {
+		t.Fatalf("two points: %+v vs prim %+v", got, PrimMST(two))
+	}
+}
+
+func TestGeoMSTCoincidentPoints(t *testing.T) {
+	ws := NewWorkspace()
+	// All points identical: the MST is n-1 zero-weight edges.
+	same := make([]geom.Point, 200)
+	for i := range same {
+		same[i] = geom.Point{X: 5, Y: 5}
+	}
+	crossValidate(t, same, 2, ws)
+
+	// Coincident clusters far apart: every nearest-neighbor distance is 0,
+	// which forces the fallback start radius.
+	var clustered []geom.Point
+	for c := 0; c < 30; c++ {
+		p := geom.Point{X: float64(c) * 100, Y: float64(c%5) * 70}
+		clustered = append(clustered, p, p, p)
+	}
+	crossValidate(t, clustered, 2, ws)
+
+	// A few duplicates inside a random placement.
+	rng := xrand.New(9)
+	reg := geom.MustRegion(50, 2)
+	pts := reg.UniformPoints(rng, 90)
+	for i := 0; i < 30; i++ {
+		pts = append(pts, pts[i])
+	}
+	crossValidate(t, pts, 2, ws)
+}
+
+func TestGeoMSTCollinearPoints(t *testing.T) {
+	ws := NewWorkspace()
+	// Collinear in 2-D, irregular gaps, including repeated gap lengths.
+	var pts []geom.Point
+	x := 0.0
+	gaps := []float64{1, 3, 1, 7, 0.25, 3, 3, 12, 1}
+	for i := 0; i < 60; i++ {
+		pts = append(pts, geom.Point{X: x, Y: 2 * x})
+		x += gaps[i%len(gaps)]
+	}
+	crossValidate(t, pts, 2, ws)
+}
+
+func TestGeoMSTSparseOutlier(t *testing.T) {
+	// One far outlier forces the radius-doubling escalation: the cluster
+	// resolves in the first rounds, the outlier's component finds no
+	// outgoing edge until the search radius spans the gap.
+	rng := xrand.New(11)
+	reg := geom.MustRegion(10, 2)
+	pts := reg.UniformPoints(rng, 100)
+	pts = append(pts, geom.Point{X: 90000, Y: 90000})
+	crossValidate(t, pts, 2, NewWorkspace())
+}
+
+func TestWorkspaceProfileMatchesNewProfile(t *testing.T) {
+	rng := xrand.New(13)
+	ws := NewWorkspace()
+	for _, dim := range []int{1, 2, 3} {
+		reg := geom.MustRegion(1000, dim)
+		for _, n := range []int{0, 1, 2, 40, 200} {
+			pts := reg.UniformPoints(rng, n)
+			var want *Profile
+			if dim == 1 {
+				xs := make([]float64, n)
+				for i, p := range pts {
+					xs[i] = p.X
+				}
+				want = NewProfile1D(xs)
+			} else {
+				want = NewProfile(pts)
+			}
+			profilesIdentical(t, want, ws.Profile(pts, dim))
+			// Clone must survive the workspace moving to the next snapshot.
+			clone := ws.Profile(pts, dim).Clone()
+			ws.Profile(reg.UniformPoints(rng, 64), dim)
+			profilesIdentical(t, want, clone)
+		}
+	}
+}
+
+func TestWorkspaceProfileSteadyStateAllocs(t *testing.T) {
+	rng := xrand.New(17)
+	reg := geom.MustRegion(16384, 2)
+	placements := make([][]geom.Point, 8)
+	for i := range placements {
+		placements[i] = reg.UniformPoints(rng, 256)
+	}
+	ws := NewWorkspace()
+	for _, pts := range placements {
+		ws.Profile(pts, 2) // warm the buffers
+	}
+	i := 0
+	avg := testing.AllocsPerRun(64, func() {
+		ws.Profile(placements[i%len(placements)], 2)
+		i++
+	})
+	if avg > 0.5 {
+		t.Fatalf("steady-state workspace profile allocates %v allocs/op, want 0", avg)
+	}
+}
+
+func TestWorkspacePointGraphMatchesBuildPointGraph(t *testing.T) {
+	rng := xrand.New(19)
+	reg := geom.MustRegion(100, 2)
+	ws := NewWorkspace()
+	for _, n := range []int{0, 1, 2, 77, 150} {
+		pts := reg.UniformPoints(rng, n)
+		for _, r := range []float64{0, 5, 20, 300} {
+			want := BuildPointGraph(pts, 2, r)
+			got := ws.PointGraph(pts, 2, r)
+			if want.N != got.N || want.NumEdges() != got.NumEdges() {
+				t.Fatalf("n=%d r=%v: graph n=%d/%d edges=%d/%d",
+					n, r, got.N, want.N, got.NumEdges(), want.NumEdges())
+			}
+			_, wantSizes := want.Components()
+			comps, largest := ws.ComponentSummary(got)
+			if comps != len(wantSizes) {
+				t.Fatalf("n=%d r=%v: %d components, want %d", n, r, comps, len(wantSizes))
+			}
+			wantLargest := 0
+			for _, s := range wantSizes {
+				if s > wantLargest {
+					wantLargest = s
+				}
+			}
+			if largest != wantLargest {
+				t.Fatalf("n=%d r=%v: largest %d, want %d", n, r, largest, wantLargest)
+			}
+		}
+	}
+}

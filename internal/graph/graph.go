@@ -14,6 +14,7 @@ package graph
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"adhocnet/internal/geom"
@@ -39,12 +40,23 @@ type UnionFind struct {
 
 // NewUnionFind returns a union-find structure over n singleton elements.
 func NewUnionFind(n int) *UnionFind {
-	uf := &UnionFind{
-		parent:  make([]int32, n),
-		size:    make([]int32, n),
-		count:   n,
-		largest: 0,
+	uf := &UnionFind{}
+	uf.Reset(n)
+	return uf
+}
+
+// Reset reinitializes the structure to n singleton elements, reusing the
+// backing arrays when they are large enough. It is the zero-allocation path
+// for workloads that process one snapshot after another.
+func (uf *UnionFind) Reset(n int) {
+	if cap(uf.parent) < n {
+		uf.parent = make([]int32, n)
+		uf.size = make([]int32, n)
 	}
+	uf.parent = uf.parent[:n]
+	uf.size = uf.size[:n]
+	uf.count = n
+	uf.largest = 0
 	if n > 0 {
 		uf.largest = 1
 	}
@@ -52,7 +64,6 @@ func NewUnionFind(n int) *UnionFind {
 		uf.parent[i] = int32(i)
 		uf.size[i] = 1
 	}
-	return uf
 }
 
 // Find returns the representative of x's set.
@@ -259,15 +270,20 @@ func PrimMST(pts []geom.Point) []Edge {
 	if n < 2 {
 		return nil
 	}
+	return primMSTInto(pts, make([]bool, n), make([]float64, n), make([]int32, n), make([]Edge, 0, n-1))
+}
+
+// primMSTInto is PrimMST over caller-provided scratch: inTree, bestDist and
+// bestFrom must have length n and edges zero length; the tree edges are
+// appended to edges and returned.
+func primMSTInto(pts []geom.Point, inTree []bool, bestDist []float64, bestFrom []int32, edges []Edge) []Edge {
+	n := len(pts)
 	const unvisited = -1
-	inTree := make([]bool, n)
-	bestDist := make([]float64, n) // squared distance to the tree
-	bestFrom := make([]int32, n)
 	for i := range bestDist {
+		inTree[i] = false
 		bestDist[i] = math.Inf(1)
 		bestFrom[i] = unvisited
 	}
-	edges := make([]Edge, 0, n-1)
 	current := int32(0)
 	inTree[0] = true
 	for len(edges) < n-1 {
@@ -300,12 +316,14 @@ func PrimMST(pts []geom.Point) []Edge {
 // transmitting range of the placement: the minimum r for which the point
 // graph is connected. It returns 0 for fewer than two points.
 func MSTBottleneck(pts []geom.Point) float64 {
+	ws := workspacePool.Get().(*Workspace)
 	max := 0.0
-	for _, e := range PrimMST(pts) {
+	for _, e := range ws.GeoMST(pts, 3) {
 		if e.D > max {
 			max = e.D
 		}
 	}
+	workspacePool.Put(ws)
 	return max
 }
 
@@ -323,10 +341,16 @@ type Profile struct {
 	largestAfter []int32
 }
 
-// NewProfile computes the connectivity profile of the points (any dimension).
-// Cost: O(n^2) time for the MST plus O(n log n) for the sweep.
+// NewProfile computes the connectivity profile of the points (any
+// dimension) via the grid-accelerated MST — near-linear in practice, with a
+// dense-Prim fallback for tiny inputs. Each call allocates a fresh profile
+// and scratch; simulation loops use graph.Workspace.Profile instead, which
+// reuses all storage across snapshots.
 func NewProfile(pts []geom.Point) *Profile {
-	return profileFromMST(len(pts), PrimMST(pts))
+	ws := workspacePool.Get().(*Workspace)
+	p := ws.replayProfile(len(pts), ws.GeoMST(pts, 3)).Clone()
+	workspacePool.Put(ws)
+	return p
 }
 
 // NewProfile1D computes the profile of a 1-dimensional placement in
@@ -357,17 +381,44 @@ func profileFromMST(n int, mst []Edge) *Profile {
 	}
 	edges := make([]Edge, len(mst))
 	copy(edges, mst)
-	sort.Slice(edges, func(a, b int) bool { return edges[a].D < edges[b].D })
-	uf := NewUnionFind(n)
+	slices.SortFunc(edges, cmpEdgeByD)
 	p.mergeRadii = make([]float64, 0, n-1)
 	p.largestAfter = make([]int32, 0, n-1)
-	for _, e := range edges {
+	replayMST(p, NewUnionFind(n), edges)
+	return p
+}
+
+// cmpEdgeByD orders edges by weight for the Kruskal-style profile replay.
+func cmpEdgeByD(a, b Edge) int {
+	switch {
+	case a.D < b.D:
+		return -1
+	case a.D > b.D:
+		return 1
+	}
+	return 0
+}
+
+// replayMST replays weight-sorted MST edges through uf, appending one merge
+// event per union to the profile's event slices.
+func replayMST(p *Profile, uf *UnionFind, sorted []Edge) {
+	for _, e := range sorted {
 		if uf.Union(e.I, e.J) {
 			p.mergeRadii = append(p.mergeRadii, e.D)
 			p.largestAfter = append(p.largestAfter, int32(uf.Largest()))
 		}
 	}
-	return p
+}
+
+// Clone returns an independent copy of the profile. The workspace snapshot
+// pipeline returns transient profiles backed by reusable storage; callers
+// that retain a profile past the next workspace call must clone it first.
+func (p *Profile) Clone() *Profile {
+	return &Profile{
+		n:            p.n,
+		mergeRadii:   slices.Clone(p.mergeRadii),
+		largestAfter: slices.Clone(p.largestAfter),
+	}
 }
 
 // N returns the number of nodes the profile describes.

@@ -84,7 +84,7 @@ func CommonRange(pts []geom.Point) Assignment {
 // instances.
 func MSTAssignment(pts []geom.Point) Assignment {
 	a := make(Assignment, len(pts))
-	for _, e := range graph.PrimMST(pts) {
+	for _, e := range graph.GeoMST(pts, 3) {
 		if e.D > a[e.I] {
 			a[e.I] = e.D
 		}

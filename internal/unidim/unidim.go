@@ -325,9 +325,23 @@ func BestCaseRadius(n int, l float64) float64 {
 // least one of the given node positions. Positions outside [0,l] are clamped
 // into the boundary cells.
 func CellBitString(xs []float64, l float64, c int) []bool {
-	bits := make([]bool, c)
-	if c <= 0 || l <= 0 {
-		return bits
+	if c < 0 {
+		c = 0
+	}
+	return CellBitStringInto(make([]bool, c), xs, l)
+}
+
+// CellBitStringInto is CellBitString into caller-provided storage: dst
+// (whose length is the cell count) is cleared, filled and returned. It is
+// the allocation-free path for Monte-Carlo loops evaluating one placement
+// after another.
+func CellBitStringInto(dst []bool, xs []float64, l float64) []bool {
+	for i := range dst {
+		dst[i] = false
+	}
+	c := len(dst)
+	if c == 0 || l <= 0 {
+		return dst
 	}
 	for _, x := range xs {
 		idx := int(float64(c) * x / l)
@@ -337,9 +351,9 @@ func CellBitString(xs []float64, l float64, c int) []bool {
 		if idx >= c {
 			idx = c - 1
 		}
-		bits[idx] = true
+		dst[idx] = true
 	}
-	return bits
+	return dst
 }
 
 // HasGapPattern reports whether the bit string contains a substring of the
@@ -454,14 +468,18 @@ func SimulateGapPattern(rng *xrand.Rand, n int, l, r float64, trials int) (gapFr
 	}
 	gaps, disc := 0, 0
 	xs := make([]float64, n)
+	bits := make([]bool, c)
 	for t := 0; t < trials; t++ {
 		for i := range xs {
 			xs[i] = rng.Float64() * l
 		}
-		if HasGapPattern(CellBitString(xs, l, c)) {
+		if HasGapPattern(CellBitStringInto(bits, xs, l)) {
 			gaps++
 		}
-		if !connected1D(xs, r) {
+		// The bit string has been taken, so xs may be sorted in place: the
+		// whole trial loop reuses its two buffers and allocates nothing.
+		sort.Float64s(xs)
+		if !connectedSorted1D(xs, r) {
 			disc++
 		}
 	}
@@ -476,6 +494,11 @@ func connected1D(xs []float64, r float64) bool {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return connectedSorted1D(sorted, r)
+}
+
+// connectedSorted1D is connected1D over already-sorted positions.
+func connectedSorted1D(sorted []float64, r float64) bool {
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i]-sorted[i-1] > r {
 			return false
