@@ -40,7 +40,7 @@ func run(args []string, out io.Writer) error {
 		iters   = fs.Int("iters", 50, "number of independent iterations")
 		steps   = fs.Int("steps", 10000, "mobility steps per iteration (1 = stationary)")
 		seed    = fs.Uint64("seed", 1, "random seed")
-		workers = fs.Int("workers", 0, "parallel iterations (0 = all CPUs)")
+		workers = fs.Int("workers", 0, "total simulation parallelism, split across iterations and snapshots (0 = all CPUs)")
 		model   = fs.String("model", "waypoint", "mobility model: stationary, waypoint, drunkard, direction")
 		verbose = fs.Bool("per-iter", false, "print per-iteration results")
 		curve   = fs.Bool("curve", false, "also print the range-vs-uptime curve (r_f for f = 0..1)")
@@ -94,7 +94,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "network: n=%d, region=[0,%g]^%d, model=%s, r=%g\n", *n, *l, *dim, mob.Name(), *r)
-	fmt.Fprintf(out, "run: %d iterations x %d steps, seed %d\n\n", *iters, *steps, *seed)
+	fmt.Fprintf(out, "run: %d iterations x %d steps, seed %d, workers %d (iteration x snapshot split %s)\n\n",
+		*iters, *steps, *seed, cfg.ResolvedWorkers(), cfg.FormatLevels())
 	fmt.Fprintf(out, "connected graphs:        %6.2f%%\n", 100*res.ConnectedFraction)
 	if math.IsNaN(res.AvgLargestDisconnected) {
 		fmt.Fprintf(out, "avg largest (disc.):     -      (no disconnected graphs)\n")

@@ -30,7 +30,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	var (
 		expID   = fs.String("experiment", "all", "experiment id or 'all' (see -list)")
-		preset  = fs.String("preset", "quick", "effort preset: quick, paper or scale")
+		preset  = fs.String("preset", "quick", "effort preset: quick, paper, scale or sweep")
 		outDir  = fs.String("out", "", "directory for CSV output (optional)")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		seed    = fs.Uint64("seed", 0, "override preset seed (0 = keep preset default)")

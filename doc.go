@@ -23,8 +23,17 @@
 // (graph.GeoMST, near-linear in practice, dense-Prim fallback for tiny n)
 // over reusable per-worker scratch (graph.Workspace), so steady-state
 // snapshot evaluation allocates nothing and scales two orders of magnitude
-// beyond the paper's n = 128. DESIGN.md documents the algorithm, its
-// exactness contract against the dense Prim, and the workspace-reuse rules.
+// beyond the paper's n = 128. A two-level scheduler (core/scheduler.go)
+// parallelizes both across iterations and across the snapshots within one
+// iteration — trajectory generation stays sequential while profile
+// evaluation fans out over a bounded buffer ring with an ordered reduction —
+// so the paper-faithful "few iterations, many steps, large n" regime
+// saturates all cores with bit-identical results for every worker count.
+// DESIGN.md documents the algorithms, the exactness contract against the
+// dense Prim, the buffer-ring/determinism contract, and the workspace-reuse
+// rules; fixed-seed golden traces, fuzz suites (GeoMST vs dense Prim, grid
+// search vs brute force) and worker-invariance tests enforce them in CI,
+// including a -race job.
 //
 // See DESIGN.md for the system inventory and key algorithmic decisions. The
 // benchmarks in bench_test.go regenerate each figure through the testing.B

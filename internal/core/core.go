@@ -23,12 +23,10 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/mobility"
-	"adhocnet/internal/xrand"
 )
 
 // Network describes the simulated ad hoc network M_d = (N, P): node count,
@@ -63,8 +61,11 @@ type RunConfig struct {
 	Iterations int
 	Steps      int
 	Seed       uint64
-	// Workers bounds the number of iterations simulated concurrently;
-	// 0 means GOMAXPROCS. Results are deterministic regardless of Workers.
+	// Workers bounds the total simulation parallelism; 0 means GOMAXPROCS.
+	// The two-level scheduler (scheduler.go) splits the budget across
+	// concurrent iterations and, when Iterations < Workers, across the
+	// snapshots within each iteration (see Levels). Results are
+	// deterministic regardless of Workers.
 	Workers int
 }
 
@@ -103,68 +104,4 @@ func snapshotProfile(pts []geom.Point, dim int) *graph.Profile {
 		return graph.NewProfile1D(xs)
 	}
 	return graph.NewProfile(pts)
-}
-
-// forEachIteration runs fn for every iteration index with a private,
-// deterministically derived random stream, using a bounded worker pool. Each
-// worker owns one graph.Workspace that fn reuses across its iterations, so
-// steady-state snapshot evaluation allocates nothing. Results must not
-// depend on which worker runs which iteration (the per-iteration stream and
-// a workspace are the only shared state handed to fn), which is what keeps
-// RunConfig determinism independent of Workers. It returns the first error
-// encountered (all workers are always awaited).
-func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand, ws *graph.Workspace) error) error {
-	seeds := xrand.New(cfg.Seed).SplitN(cfg.Iterations)
-
-	workers := cfg.workers()
-	if workers > cfg.Iterations {
-		workers = cfg.Iterations
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ws := graph.NewWorkspace()
-			for iter := range next {
-				if err := fn(iter, seeds[iter], ws); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < cfg.Iterations; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
-}
-
-// runTrajectory simulates one iteration of the network and invokes visit
-// with the snapshot index and the connectivity profile of every evaluated
-// snapshot (the initial placement first, then after each mobility step).
-// The profile handed to visit is transient workspace storage, overwritten by
-// the next snapshot: visit must Clone it to retain it.
-func runTrajectory(net Network, steps int, rng *xrand.Rand, ws *graph.Workspace, visit func(step int, p *graph.Profile)) error {
-	state, err := net.Model.NewState(rng, net.Region, net.Nodes)
-	if err != nil {
-		return err
-	}
-	for t := 0; t < steps; t++ {
-		if t > 0 {
-			state.Step()
-		}
-		visit(t, ws.Profile(state.Positions(), net.Region.Dim))
-	}
-	return nil
 }

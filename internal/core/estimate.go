@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/stats"
 	"adhocnet/internal/xrand"
@@ -136,16 +137,24 @@ func EstimateRanges(net Network, cfg RunConfig, targets RangeTargets) (RangeEsti
 		compVals[i] = make([]float64, cfg.Iterations)
 	}
 
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error {
 		profiles := make([]*graph.Profile, 0, cfg.Steps)
 		criticals := make([]float64, 0, cfg.Steps)
-		err := runTrajectory(net, cfg.Steps, rng, ws, func(_ int, p *graph.Profile) {
-			// The component-fraction inversion below needs every snapshot's
-			// profile at once, so the transient profile is cloned (the one
-			// retained per-snapshot allocation of this path).
-			profiles = append(profiles, p.Clone())
-			criticals = append(criticals, p.Critical())
-		})
+		err := runTrajectory(net, cfg.Steps, inner, rng, ws,
+			func() *estimateSnap { return &estimateSnap{} },
+			func(_ int, pts []geom.Point, ws *graph.Workspace, out *estimateSnap) {
+				p := ws.Profile(pts, net.Region.Dim)
+				out.critical = p.Critical()
+				// The component-fraction inversion below needs every
+				// snapshot's profile at once, so the transient profile is
+				// cloned (the one retained per-snapshot allocation of this
+				// path).
+				out.prof = p.Clone()
+			},
+			func(_ int, out *estimateSnap) {
+				profiles = append(profiles, out.prof)
+				criticals = append(criticals, out.critical)
+			})
 		if err != nil {
 			return err
 		}
@@ -173,6 +182,13 @@ func EstimateRanges(net Network, cfg RunConfig, targets RangeTargets) (RangeEsti
 		out.Component[i] = summarize(g, compVals[i])
 	}
 	return out, nil
+}
+
+// estimateSnap is the per-snapshot result slot of EstimateRanges: the
+// snapshot's critical radius and a retained clone of its profile.
+type estimateSnap struct {
+	critical float64
+	prof     *graph.Profile
 }
 
 // quantileForTimeFraction maps a time-fraction target to the corresponding

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/stats"
 	"adhocnet/internal/xrand"
@@ -79,16 +80,26 @@ func EvaluateFixedRanges(net Network, cfg RunConfig, radii []float64) ([]FixedRa
 		perIter[i] = make([]IterationResult, cfg.Iterations)
 	}
 
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error {
 		accs := make([]fixedAccumulator, len(radii))
 		for i := range accs {
 			accs[i].minLargest = net.Nodes + 1
 		}
-		err := runTrajectory(net, cfg.Steps, rng, ws, func(_ int, p *graph.Profile) {
-			for i, r := range radii {
-				accs[i].observe(p, r)
-			}
-		})
+		err := runTrajectory(net, cfg.Steps, inner, rng, ws,
+			func() []radiusObs { return make([]radiusObs, len(radii)) },
+			func(_ int, pts []geom.Point, ws *graph.Workspace, out []radiusObs) {
+				p := ws.Profile(pts, net.Region.Dim)
+				for i, r := range radii {
+					out[i] = radiusObs{largest: int32(p.LargestAt(r)), connected: p.ConnectedAt(r)}
+				}
+			},
+			func(_ int, out []radiusObs) {
+				// Interval (outage-run) tracking is order-sensitive; the
+				// ordered reduction guarantees step order here.
+				for i := range out {
+					accs[i].observe(int(out[i].largest), out[i].connected)
+				}
+			})
 		if err != nil {
 			return err
 		}
@@ -117,6 +128,13 @@ func EvaluateFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeR
 	return res[0], nil
 }
 
+// radiusObs is one snapshot's observation at one radius: the
+// largest-component size and whether the graph was connected.
+type radiusObs struct {
+	largest   int32
+	connected bool
+}
+
 // fixedAccumulator folds per-snapshot observations at one radius.
 type fixedAccumulator struct {
 	steps            int
@@ -125,25 +143,26 @@ type fixedAccumulator struct {
 	largestDiscCount int
 	minLargest       int
 
-	intervals   int
-	runLen      int
-	runLenSum   int
-	longestRun  int
-	inDisc      bool
-	prevWasDisc bool
+	intervals  int
+	runLen     int
+	runLenSum  int
+	longestRun int
+	inDisc     bool
 }
 
-func (a *fixedAccumulator) observe(p *graph.Profile, r float64) {
+// observe folds one snapshot's observation. Calls must arrive in step order
+// (runs of consecutive disconnected snapshots are tracked across calls).
+// "Connected" follows the paper's convention that graphs on fewer than two
+// nodes are trivially connected, for both the profile path (ConnectedAt) and
+// the direct path (component count <= 1).
+func (a *fixedAccumulator) observe(largest int, connected bool) {
 	a.steps++
-	largest := p.LargestAt(r)
 	if largest < a.minLargest {
 		a.minLargest = largest
 	}
-	if p.ConnectedAt(r) {
+	if connected {
 		a.connected++
-		if a.inDisc {
-			a.inDisc = false
-		}
+		a.inDisc = false
 		return
 	}
 	a.largestDiscSum += float64(largest)
@@ -236,19 +255,21 @@ func DirectFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeRes
 	}
 
 	iters := make([]IterationResult, cfg.Iterations)
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
-		state, err := net.Model.NewState(rng, net.Region, net.Nodes)
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error {
+		acc := fixedAccumulator{minLargest: net.Nodes + 1}
+		err := runTrajectory(net, cfg.Steps, inner, rng, ws,
+			func() *radiusObs { return &radiusObs{} },
+			func(_ int, pts []geom.Point, ws *graph.Workspace, out *radiusObs) {
+				g := ws.PointGraph(pts, net.Region.Dim, radius)
+				components, largest := ws.ComponentSummary(g)
+				out.largest = int32(largest)
+				out.connected = components <= 1
+			},
+			func(_ int, out *radiusObs) {
+				acc.observe(int(out.largest), out.connected)
+			})
 		if err != nil {
 			return err
-		}
-		acc := fixedAccumulator{minLargest: net.Nodes + 1}
-		for t := 0; t < cfg.Steps; t++ {
-			if t > 0 {
-				state.Step()
-			}
-			g := ws.PointGraph(state.Positions(), net.Region.Dim, radius)
-			components, largest := ws.ComponentSummary(g)
-			acc.observeDirect(components, largest)
 		}
 		iters[iter] = acc.finish()
 		return nil
@@ -257,33 +278,4 @@ func DirectFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeRes
 		return FixedRangeResult{}, err
 	}
 	return reduceFixed(radius, net.Nodes, cfg.Steps, iters), nil
-}
-
-// observeDirect is observe for an explicitly built communication graph,
-// summarized as its component count and largest-component size. At most one
-// component means connected, matching the paper's convention (and
-// Adjacency.Connected) that graphs on fewer than two nodes are trivially
-// connected.
-func (a *fixedAccumulator) observeDirect(components, largest int) {
-	a.steps++
-	if largest < a.minLargest {
-		a.minLargest = largest
-	}
-	if components <= 1 {
-		a.connected++
-		a.inDisc = false
-		return
-	}
-	a.largestDiscSum += float64(largest)
-	a.largestDiscCount++
-	if !a.inDisc {
-		a.inDisc = true
-		a.intervals++
-		a.runLen = 0
-	}
-	a.runLen++
-	a.runLenSum++
-	if a.runLen > a.longestRun {
-		a.longestRun = a.runLen
-	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with -race; wall-clock
+// assertions are meaningless under the detector's serialization.
+const raceEnabled = true

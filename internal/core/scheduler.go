@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/graph"
+	"adhocnet/internal/mobility"
+	"adhocnet/internal/xrand"
+)
+
+// This file implements the two-level simulation scheduler. The outer level
+// distributes iterations over workers exactly as before; the inner level
+// additionally parallelizes the snapshots *within* one iteration, so that the
+// paper-faithful "few iterations, many steps, large n" regime saturates all
+// cores instead of idling on one.
+//
+// Mobility is inherently sequential (step t+1 depends on step t), so the
+// inner level splits trajectory *generation* from profile *evaluation*: a
+// cheap sequential producer drives the mobility model and copies each
+// snapshot's positions into a bounded ring of position buffers, a pool of
+// workers evaluates snapshots concurrently (each with its own
+// graph.Workspace), and an ordered reduction applies the per-step results in
+// step order. Determinism is structural:
+//
+//   - the producer performs exactly the Step() sequence of the sequential
+//     code, on the iteration's private random stream;
+//   - eval is a pure function of (step, positions) given private scratch;
+//   - merge observes results in step order, whatever order workers finish.
+//
+// Hence results are bit-identical for every Workers value, which the
+// scheduler tests pin down.
+
+// Levels reports how the configuration's worker budget is split across the
+// two scheduler levels: outer is the number of iterations simulated
+// concurrently, inner the base number of snapshot evaluators each of those
+// iterations may use, and spare how many of the outer workers receive one
+// evaluator beyond the base so the whole budget is spent (spare < outer;
+// forEachIteration hands the extras to the first outer workers). This is the
+// single source of truth for the split — the CLIs render it and the
+// scheduler executes it. Results never depend on the split.
+func (c RunConfig) Levels() (outer, inner, spare int) {
+	w := c.workers()
+	outer = w
+	if c.Iterations > 0 && outer > c.Iterations {
+		outer = c.Iterations
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = w / outer
+	if inner < 1 {
+		inner = 1
+	}
+	// An iteration of S snapshots can never use more than S evaluators
+	// (runSnapshotPool caps its pool the same way), so don't advertise them.
+	if c.Steps > 0 && inner > c.Steps {
+		inner = c.Steps
+	}
+	spare = w - inner*outer
+	if spare < 0 || (c.Steps > 0 && inner+1 > c.Steps) {
+		spare = 0
+	}
+	return outer, inner, spare
+}
+
+// ResolvedWorkers returns the worker budget with the Workers=0 default
+// applied (GOMAXPROCS); the single source of truth the CLIs display.
+func (c RunConfig) ResolvedWorkers() int { return c.workers() }
+
+// FormatLevels renders the scheduler split for display: "OxI" when the
+// budget divides evenly, "OxI-J" when spare workers give some iterations one
+// more snapshot evaluator.
+func (c RunConfig) FormatLevels() string {
+	outer, inner, spare := c.Levels()
+	if spare > 0 {
+		return fmt.Sprintf("%dx%d-%d", outer, inner, inner+1)
+	}
+	return fmt.Sprintf("%dx%d", outer, inner)
+}
+
+// forEachIteration runs fn for every iteration index with a private,
+// deterministically derived random stream, using a bounded worker pool (the
+// scheduler's outer level). Each worker owns one graph.Workspace that fn
+// reuses across its iterations, and receives the inner snapshot-worker budget
+// it may spend per iteration (fn forwards it to runTrajectory). Results must
+// not depend on which worker runs which iteration, nor on the inner budget,
+// which is what keeps RunConfig determinism independent of Workers. It
+// returns the first error encountered (all workers are always awaited).
+func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error) error {
+	seeds := xrand.New(cfg.Seed).SplitN(cfg.Iterations)
+
+	outer, base, extra := cfg.Levels()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < outer; w++ {
+		inner := base
+		if w < extra {
+			inner++
+		}
+		wg.Add(1)
+		go func(inner int) {
+			defer wg.Done()
+			ws := graph.NewWorkspace()
+			for iter := range next {
+				if err := fn(iter, seeds[iter], ws, inner); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(inner)
+	}
+	for i := 0; i < cfg.Iterations; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// runTrajectory simulates one iteration of the network: it drives the
+// mobility model for the given number of snapshots (the initial placement
+// counts as the first) and, for every snapshot, calls eval with the node
+// positions and then merge with eval's result, in step order.
+//
+//   - newSlot allocates one reusable per-snapshot result slot; the scheduler
+//     owns a bounded ring of them, so eval must write every field it reads.
+//   - eval runs concurrently on up to inner goroutines. It must be a pure
+//     function of (step, pts) using only the passed workspace and slot; pts
+//     and the slot are borrowed until merge consumes the slot.
+//   - merge is called on the calling goroutine, strictly in increasing step
+//     order, never concurrently; it may touch per-iteration state freely.
+//
+// With inner <= 1 the scheduler degenerates to the sequential loop of the
+// per-iteration path (no goroutines, no copies, positions handed to eval
+// directly), which is also the reference the determinism tests compare the
+// pooled path against.
+func runTrajectory[R any](net Network, steps, inner int, rng *xrand.Rand, ws *graph.Workspace,
+	newSlot func() R,
+	eval func(step int, pts []geom.Point, ws *graph.Workspace, out R),
+	merge func(step int, out R),
+) error {
+	state, err := net.Model.NewState(rng, net.Region, net.Nodes)
+	if err != nil {
+		return err
+	}
+	if inner <= 1 || steps < 2 {
+		out := newSlot()
+		for t := 0; t < steps; t++ {
+			if t > 0 {
+				state.Step()
+			}
+			eval(t, state.Positions(), ws, out)
+			merge(t, out)
+		}
+		return nil
+	}
+	runSnapshotPool(state, net.Nodes, steps, inner, newSlot, eval, merge)
+	return nil
+}
+
+// posRings pools position-buffer rings across pooled-trajectory iterations,
+// so the mixed regime (several concurrent iterations, each with an inner
+// pool) does not reallocate ring storage per iteration. Buffer contents are
+// fully overwritten by the producer before every use, so pooling cannot leak
+// state between iterations.
+var posRings = sync.Pool{New: func() any { return &posRing{} }}
+
+type posRing struct {
+	bufs [][]geom.Point
+}
+
+// resize returns the ring's buffers sized to ring x nodes, reusing capacity.
+func (r *posRing) resize(ring, nodes int) [][]geom.Point {
+	if cap(r.bufs) < ring {
+		r.bufs = make([][]geom.Point, ring)
+	}
+	r.bufs = r.bufs[:ring]
+	for i := range r.bufs {
+		if cap(r.bufs[i]) < nodes {
+			r.bufs[i] = make([]geom.Point, nodes)
+		}
+		r.bufs[i] = r.bufs[i][:nodes]
+	}
+	return r.bufs
+}
+
+// runSnapshotPool is the pipelined inner level of runTrajectory.
+//
+// Buffer-ring contract: the ring holds 2*inner position buffers and result
+// slots. The producer may generate snapshot t only after snapshot t-ring has
+// been merged (the credit channel), so at most ring snapshots are in flight
+// past the merge frontier, buffer/slot t%ring is never written before its
+// previous tenant was consumed, and the reducer's reorder window is bounded
+// by the ring. All hand-offs are channel sends, so every access is ordered by
+// a happens-before edge (the -race CI job runs this path).
+func runSnapshotPool[R any](state mobility.State, nodes, steps, inner int,
+	newSlot func() R,
+	eval func(step int, pts []geom.Point, ws *graph.Workspace, out R),
+	merge func(step int, out R),
+) {
+	ring := 2 * inner
+	if ring > steps {
+		ring = steps
+	}
+	if inner > ring {
+		inner = ring // more evaluators than in-flight snapshots can't help
+	}
+	pr := posRings.Get().(*posRing)
+	defer posRings.Put(pr)
+	bufs := pr.resize(ring, nodes)
+	slots := make([]R, ring)
+	for i := range slots {
+		slots[i] = newSlot()
+	}
+	credits := make(chan struct{}, ring) // one per free ring entry
+	for i := 0; i < ring; i++ {
+		credits <- struct{}{}
+	}
+	tasks := make(chan int, ring)   // step indices ready for evaluation
+	results := make(chan int, ring) // step indices with a filled slot
+
+	// Producer: the only goroutine that touches the mobility state. It
+	// performs exactly the Step() sequence of the sequential path.
+	go func() {
+		for t := 0; t < steps; t++ {
+			<-credits
+			if t > 0 {
+				state.Step()
+			}
+			copy(bufs[t%ring], state.Positions())
+			tasks <- t
+		}
+		close(tasks)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < inner; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := graph.AcquireWorkspace()
+			defer graph.ReleaseWorkspace(ws)
+			for t := range tasks {
+				eval(t, bufs[t%ring], ws, slots[t%ring])
+				results <- t
+			}
+		}()
+	}
+
+	// Ordered reduction on the caller's goroutine: workers finish in any
+	// order; merge fires strictly in step order. In-flight steps all lie in
+	// [next, next+ring), so the done window cannot alias two steps.
+	done := make([]bool, ring)
+	for next := 0; next < steps; {
+		t := <-results
+		done[t%ring] = true
+		for next < steps && done[next%ring] {
+			done[next%ring] = false
+			merge(next, slots[next%ring])
+			credits <- struct{}{}
+			next++
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/mobility"
+)
+
+// benchTrajectory measures EstimateRanges in the paper-faithful single-
+// iteration regime, where all parallelism must come from the scheduler's
+// inner snapshot pool. workers=1 is exactly the pre-scheduler per-iteration
+// path (sequential inner level, no copies, no extra goroutines), so the
+// sub-benchmarks are the old-vs-new comparison.
+func benchTrajectory(b *testing.B, n, steps, workers int) {
+	b.Helper()
+	l := float64(n) * float64(n) // the paper's n = sqrt(l) scaling
+	reg, err := geom.NewRegion(l, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := Network{Nodes: n, Region: reg, Model: mobility.PaperWaypoint(l)}
+	targets := RangeTargets{TimeFractions: []float64{1, 0.9}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := RunConfig{Iterations: 1, Steps: steps, Seed: 21, Workers: workers}
+		if _, err := EstimateRanges(net, cfg, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrajectoryIter1N4096 is the headline two-level-scheduler
+// benchmark: one iteration of n = 4096 nodes. "workers=1" is the old
+// sequential path; "workers=GOMAXPROCS" engages the snapshot pool.
+func BenchmarkTrajectoryIter1N4096(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchTrajectory(b, 4096, 16, w)
+		})
+	}
+}
+
+// BenchmarkTrajectoryIter1N512 tracks the pool's overhead floor at a size
+// where per-snapshot work is small relative to the ring copies.
+func BenchmarkTrajectoryIter1N512(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchTrajectory(b, 512, 64, w)
+		})
+	}
+}
+
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		counts = append(counts, g)
+	} else {
+		// Single-core machines still exercise the pooled code path, just
+		// without expecting a speedup.
+		counts = append(counts, 2)
+	}
+	return counts
+}

@@ -35,7 +35,8 @@ func StationaryCriticalSample(reg geom.Region, n, samples int, seed uint64, work
 	}
 	cfg := RunConfig{Iterations: samples, Steps: 1, Seed: seed, Workers: workers}
 	out := make([]float64, samples)
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
+	// One snapshot per sample: the outer level alone saturates the budget.
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, _ int) error {
 		pts := ws.Points(n)
 		reg.FillUniformPoints(rng, pts)
 		out[iter] = ws.Profile(pts, reg.Dim).Critical()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/stats"
 	"adhocnet/internal/xrand"
@@ -38,6 +39,29 @@ type StructureResult struct {
 	Snapshots int
 }
 
+// structSnap is the per-snapshot result slot of EvaluateStructure: every
+// structural metric of one snapshot's communication graph, computed on a pool
+// worker and folded into the iteration accumulator in step order.
+type structSnap struct {
+	degMean      float64
+	isolated     int
+	disconnected bool
+	isolatedOnly bool
+	diameter     int
+	meanHops     float64
+	articulation int
+	biconnected  bool
+}
+
+// iterAcc folds one iteration's snapshot metrics.
+type iterAcc struct {
+	degree, isolated, diameter, hops, articulation stats.Accumulator
+	biconnected                                    int
+	disconnected                                   int
+	isolatedOnly                                   int
+	snapshots                                      int
+}
+
 // EvaluateStructure simulates the network and measures graph-structure
 // metrics at the given transmitting range. It rebuilds the explicit
 // communication graph per snapshot (the profile shortcut cannot answer
@@ -53,57 +77,61 @@ func EvaluateStructure(net Network, cfg RunConfig, radius float64) (StructureRes
 		return StructureResult{}, fmt.Errorf("core: invalid radius %v", radius)
 	}
 
-	type iterAcc struct {
-		degree, isolated, diameter, hops, articulation stats.Accumulator
-		biconnected                                    int
-		disconnected                                   int
-		isolatedOnly                                   int
-		snapshots                                      int
-	}
 	accs := make([]iterAcc, cfg.Iterations)
 
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace) error {
-		state, err := net.Model.NewState(rng, net.Region, net.Nodes)
-		if err != nil {
-			return err
-		}
+	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error {
 		acc := &accs[iter]
-		for t := 0; t < cfg.Steps; t++ {
-			if t > 0 {
-				state.Step()
-			}
-			g := ws.PointGraph(state.Positions(), net.Region.Dim, radius)
-			acc.snapshots++
-			ds := g.DegreeStats()
-			acc.degree.Add(ds.Mean)
-			acc.isolated.Add(float64(ds.Isolated))
-			_, sizes := g.Components()
-			if len(sizes) > 1 {
-				acc.disconnected++
-				// Disconnection is "isolated-only" when every component but
-				// the largest is a singleton.
-				largest, nonSingleton := 0, 0
-				for _, s := range sizes {
-					if s > largest {
-						largest = s
+		return runTrajectory(net, cfg.Steps, inner, rng, ws,
+			func() *structSnap { return &structSnap{} },
+			func(_ int, pts []geom.Point, ws *graph.Workspace, out *structSnap) {
+				g := ws.PointGraph(pts, net.Region.Dim, radius)
+				ds := g.DegreeStats()
+				out.degMean = ds.Mean
+				out.isolated = ds.Isolated
+				out.disconnected = false
+				out.isolatedOnly = false
+				_, sizes := g.Components()
+				if len(sizes) > 1 {
+					out.disconnected = true
+					// Disconnection is "isolated-only" when every component
+					// but the largest is a singleton.
+					largest, nonSingleton := 0, 0
+					for _, s := range sizes {
+						if s > largest {
+							largest = s
+						}
+						if s > 1 {
+							nonSingleton++
+						}
 					}
-					if s > 1 {
-						nonSingleton++
+					out.isolatedOnly = nonSingleton <= 1
+				}
+				hs := g.HopStats()
+				out.diameter = hs.Diameter
+				out.meanHops = hs.MeanHops
+				out.articulation = len(g.ArticulationPoints())
+				out.biconnected = g.IsBiconnected()
+			},
+			func(_ int, out *structSnap) {
+				// Accumulator addition order is the float-summation order;
+				// merging in step order keeps results bit-identical across
+				// worker counts.
+				acc.snapshots++
+				acc.degree.Add(out.degMean)
+				acc.isolated.Add(float64(out.isolated))
+				if out.disconnected {
+					acc.disconnected++
+					if out.isolatedOnly {
+						acc.isolatedOnly++
 					}
 				}
-				if nonSingleton <= 1 {
-					acc.isolatedOnly++
+				acc.diameter.Add(float64(out.diameter))
+				acc.hops.Add(out.meanHops)
+				acc.articulation.Add(float64(out.articulation))
+				if out.biconnected {
+					acc.biconnected++
 				}
-			}
-			hs := g.HopStats()
-			acc.diameter.Add(float64(hs.Diameter))
-			acc.hops.Add(hs.MeanHops)
-			acc.articulation.Add(float64(len(g.ArticulationPoints())))
-			if g.IsBiconnected() {
-				acc.biconnected++
-			}
-		}
-		return nil
+			})
 	})
 	if err != nil {
 		return StructureResult{}, err

@@ -78,6 +78,24 @@ func Scale() Preset {
 	}
 }
 
+// Sweep returns the preset for the two-level-scheduler scaling sweeps: node
+// counts up to n = sqrt(l) = 16384 at the paper-faithful "few iterations,
+// many steps" operating point. With Iterations < Workers the scheduler's
+// snapshot pool is what keeps every core busy; the ext-sweep experiment
+// varies Iterations in {1, 2, 4} across these sides and reports wall-clock
+// alongside the range estimates.
+func Sweep() Preset {
+	return Preset{
+		Name:               "sweep",
+		Iterations:         4,
+		Steps:              128,
+		StationarySamples:  64,
+		Sides:              []float64{1 << 22, 1 << 24, 1 << 26, 1 << 28},
+		StationaryQuantile: 0.99,
+		Seed:               1,
+	}
+}
+
 // Validate checks the preset.
 func (p Preset) Validate() error {
 	if p.Iterations <= 0 || p.Steps <= 0 || p.StationarySamples <= 0 {
@@ -97,7 +115,8 @@ func (p Preset) Validate() error {
 	return nil
 }
 
-// PresetByName returns the named preset ("quick", "paper" or "scale").
+// PresetByName returns the named preset ("quick", "paper", "scale" or
+// "sweep").
 func PresetByName(name string) (Preset, error) {
 	switch name {
 	case "quick":
@@ -106,8 +125,10 @@ func PresetByName(name string) (Preset, error) {
 		return Paper(), nil
 	case "scale":
 		return Scale(), nil
+	case "sweep":
+		return Sweep(), nil
 	default:
-		return Preset{}, fmt.Errorf("experiments: unknown preset %q (want quick, paper or scale)", name)
+		return Preset{}, fmt.Errorf("experiments: unknown preset %q (want quick, paper, scale or sweep)", name)
 	}
 }
 
@@ -195,4 +216,5 @@ var registry = []Experiment{
 	extMobilityQuantityExperiment(),
 	extRangeAssignExperiment(),
 	extDataMuleExperiment(),
+	extSweepExperiment(),
 }

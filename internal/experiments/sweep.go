@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adhocnet/internal/core"
+	"adhocnet/internal/geom"
+	"adhocnet/internal/mobility"
+	"adhocnet/internal/report"
+)
+
+// extSweepExperiment is the large-n scaling sweep the two-level scheduler
+// unlocks: the paper-faithful "few iterations, many steps" regime at node
+// counts far past the paper's n = 128. For every region side it runs the
+// range estimation at Iterations in {1, 2, 4} (capped by the preset) and
+// reports the estimates together with the wall clock and the scheduler's
+// outer x inner worker split — at Iterations = 1 the whole Workers budget
+// lands on the snapshot pool, which used to idle on one core.
+func extSweepExperiment() Experiment {
+	return Experiment{
+		ID:    "ext-sweep",
+		Title: "Extension: large-n sweep under the two-level scheduler",
+		Description: "Range estimation across the preset sides at Iterations " +
+			"in {1, 2, 4} under the random waypoint model, reporting r_100 " +
+			"and r_90 alongside wall-clock time and the scheduler's " +
+			"outer x inner worker split (run with -preset sweep for node " +
+			"counts up to 16384).",
+		Run: func(p Preset) (*Result, error) {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			iterCounts := []int{1, 2, 4}
+			table := report.NewTable("Two-level scheduler sweep (waypoint)",
+				"l", "n", "iters", "split", "r100 mean", "r90 mean", "seconds")
+			series := report.Series{Name: "r90, iters=1"}
+			for _, l := range p.Sides {
+				n := nodesForSide(l)
+				reg, err := geom.NewRegion(l, 2)
+				if err != nil {
+					return nil, err
+				}
+				net := core.Network{Nodes: n, Region: reg, Model: mobility.PaperWaypoint(l)}
+				for _, iters := range iterCounts {
+					if iters > p.Iterations {
+						continue
+					}
+					cfg := core.RunConfig{
+						Iterations: iters,
+						Steps:      p.Steps,
+						Seed:       p.seedFor(fmt.Sprintf("ext-sweep/%v/%d", l, iters)),
+						Workers:    p.Workers,
+					}
+					start := time.Now()
+					est, err := core.EstimateRanges(net, cfg,
+						core.RangeTargets{TimeFractions: []float64{1, 0.9}})
+					if err != nil {
+						return nil, err
+					}
+					elapsed := time.Since(start)
+					r100, err := est.TimeFraction(1)
+					if err != nil {
+						return nil, err
+					}
+					r90, err := est.TimeFraction(0.9)
+					if err != nil {
+						return nil, err
+					}
+					table.AddRow(
+						report.FormatFloat(l),
+						fmt.Sprintf("%d", n),
+						fmt.Sprintf("%d", iters),
+						cfg.FormatLevels(),
+						report.FormatFloat(r100.Mean),
+						report.FormatFloat(r90.Mean),
+						fmt.Sprintf("%.2f", elapsed.Seconds()),
+					)
+					if iters == 1 {
+						series.X = append(series.X, l)
+						series.Y = append(series.Y, r90.Mean)
+					}
+				}
+			}
+			chart := &report.Chart{
+				Title: "r90 across the sweep (Iterations = 1)", XLabel: "l",
+				YLabel: "r90", LogX: true,
+				Series: []report.Series{series},
+			}
+			return &Result{
+				ID: "ext-sweep", Title: "Large-n sweep under the two-level scheduler",
+				Tables: []*report.Table{table},
+				Charts: []*report.Chart{chart},
+				Notes: []string{
+					"Iterations < Workers is the regime where per-iteration",
+					"parallelism leaves cores idle; the scheduler's snapshot pool",
+					"(outer x inner split above) keeps them busy, and the",
+					"estimates are bit-identical for every worker count by the",
+					"ordered-reduction contract (core/scheduler.go).",
+				},
+			}, nil
+		},
+	}
+}

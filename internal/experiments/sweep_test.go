@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepPreset(t *testing.T) {
+	p, err := PresetByName("sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("sweep preset invalid: %v", err)
+	}
+	if p.Iterations != 4 {
+		t.Errorf("sweep iterations = %d, want 4 (the ext-sweep iteration ladder tops out there)", p.Iterations)
+	}
+	if n := nodesForSide(p.Sides[len(p.Sides)-1]); n != 16384 {
+		t.Errorf("largest sweep side yields n = %d, want 16384", n)
+	}
+}
+
+func TestExtSweepTinyRun(t *testing.T) {
+	e, err := ByID("ext-sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyPreset()
+	p.Steps = 20
+	res, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || len(res.Charts) != 1 {
+		t.Fatalf("unexpected result shape: %d tables, %d charts", len(res.Tables), len(res.Charts))
+	}
+	rows := res.Tables[0].Rows
+	// tinyPreset has 2 sides and Iterations = 3, so the {1, 2} rungs of the
+	// iteration ladder run for each side.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if !strings.Contains(row[3], "x") {
+			t.Errorf("split cell %q does not look like outer x inner", row[3])
+		}
+		if row[4] == "" || row[5] == "" {
+			t.Errorf("row %v missing range estimates", row)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package geomtest holds helpers shared by the fuzz suites: a deterministic
+// decoder from fuzz bytes to point sets. It lives outside the _test files so
+// the graph and spatial fuzz targets decode their corpora identically — a
+// resolution or cap change here changes both corpus semantics at once.
+package geomtest
+
+import "adhocnet/internal/geom"
+
+// DecodeFuzzPoints decodes fuzz bytes into a point set: the first byte picks
+// the dimension (1-3), then every 2 bytes form one coordinate in [0, 4096)
+// with 1/16 resolution — coarse enough that random inputs produce coincident
+// points and distance ties, the degenerate cases MST tie-breaking and grid
+// clamping have to survive. Points decoded at dim < 3 keep the unused axes
+// zero. The point count is capped at maxPoints so dense O(n^2) references
+// stay cheap.
+func DecodeFuzzPoints(data []byte, maxPoints int) ([]geom.Point, int) {
+	if len(data) == 0 {
+		return nil, 2
+	}
+	dim := 1 + int(data[0])%3
+	data = data[1:]
+	n := len(data) / (2 * dim)
+	if n > maxPoints {
+		n = maxPoints
+	}
+	coord := func(i int) float64 {
+		return float64(uint16(data[2*i])|uint16(data[2*i+1])<<8) / 16
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i].X = coord(i * dim)
+		if dim >= 2 {
+			pts[i].Y = coord(i*dim + 1)
+		}
+		if dim >= 3 {
+			pts[i].Z = coord(i*dim + 2)
+		}
+	}
+	return pts, dim
+}

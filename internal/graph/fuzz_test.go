@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+
+	"adhocnet/internal/geomtest"
+)
+
+// FuzzGeoMSTMatchesDensePrim checks the grid-accelerated filtered Kruskal
+// against the dense Prim on arbitrary point sets: both must produce spanning
+// trees with the exact same weight multiset (the weight multiset of a
+// minimum spanning tree is unique, and both algorithms compute weights with
+// the same thresholdRadius(d2) arithmetic), which is the invariant the
+// bit-identical connectivity profiles rest on.
+func FuzzGeoMSTMatchesDensePrim(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 16, 0, 16, 0})             // dim 2, coincident pair
+	f.Add([]byte{0, 1, 0, 2, 0, 4, 0, 8, 0, 16, 0, 32, 0}) // dim 1, collinear
+	seed := []byte{2}
+	for i := 0; i < 80; i++ { // dim 3, enough points for the grid path
+		x := uint16(i * 2654435761)
+		seed = append(seed, byte(x), byte(x>>8), byte(x>>3), byte(x>>11), byte(x>>5), byte(x>>13))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, dim := geomtest.DecodeFuzzPoints(data, 150)
+		geo := GeoMST(pts, dim)
+		prim := PrimMST(pts)
+		if len(geo) != len(prim) {
+			t.Fatalf("edge counts differ: GeoMST %d, PrimMST %d (n=%d)", len(geo), len(prim), len(pts))
+		}
+		if len(pts) >= 1 && len(geo) != len(pts)-1 {
+			t.Fatalf("GeoMST returned %d edges for %d points, not spanning", len(geo), len(pts))
+		}
+		gw := make([]float64, len(geo))
+		pw := make([]float64, len(prim))
+		for i := range geo {
+			gw[i] = geo[i].D
+			pw[i] = prim[i].D
+		}
+		slices.Sort(gw)
+		slices.Sort(pw)
+		for i := range gw {
+			if gw[i] != pw[i] {
+				t.Fatalf("weight multiset differs at rank %d: GeoMST %v, PrimMST %v (n=%d, dim=%d)",
+					i, gw[i], pw[i], len(pts), dim)
+			}
+		}
+	})
+}

@@ -55,6 +55,17 @@ type Workspace struct {
 // reused afterwards.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
+// AcquireWorkspace hands out a workspace from the package pool. It is meant
+// for transient worker goroutines (the simulator's inner snapshot pool) whose
+// scratch should outlive the goroutine and be reused by the next pool:
+// pair it with ReleaseWorkspace when the goroutine exits.
+func AcquireWorkspace() *Workspace { return workspacePool.Get().(*Workspace) }
+
+// ReleaseWorkspace returns a workspace obtained from AcquireWorkspace to the
+// package pool. The caller must not use ws (or anything a ws method returned)
+// afterwards.
+func ReleaseWorkspace(ws *Workspace) { workspacePool.Put(ws) }
+
 // Points returns the workspace's placement scratch buffer resized to n
 // points (contents unspecified). Samplers that draw one placement per
 // iteration fill this instead of allocating a fresh slice.

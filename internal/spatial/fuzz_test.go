@@ -1,0 +1,72 @@
+package spatial
+
+import (
+	"slices"
+	"testing"
+
+	"adhocnet/internal/geomtest"
+)
+
+// pairRec is one visited pair for set comparison.
+type pairRec struct {
+	i, j int
+	d2   float64
+}
+
+func cmpPairRec(a, b pairRec) int {
+	switch {
+	case a.i != b.i:
+		return a.i - b.i
+	case a.j != b.j:
+		return a.j - b.j
+	case a.d2 < b.d2:
+		return -1
+	case a.d2 > b.d2:
+		return 1
+	}
+	return 0
+}
+
+// FuzzSpatialIndexNeighbors checks the CSR cell grid against the brute-force
+// reference: for an arbitrary point set and query radius, ForEachPairWithin
+// must visit exactly the pairs at distance <= r, with identical squared
+// distances. The decoder reuses the quantized-coordinate scheme of the graph
+// fuzzers, so coincident points, single-cell grids and boundary-cell clamps
+// all come up.
+func FuzzSpatialIndexNeighbors(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 0, 0, 16, 0, 16, 0}) // zero radius, coincident points
+	seed := []byte{64, 1, 2}                   // r = 356/16, dim 3
+	for i := 0; i < 60; i++ {
+		x := uint16(i * 40503)
+		seed = append(seed, byte(x), byte(x>>8), byte(x>>7), byte(x>>2), byte(x>>11), byte(x>>4))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		r := float64(uint16(data[0])|uint16(data[1])<<8) / 16
+		pts, dim := geomtest.DecodeFuzzPoints(data[2:], 120)
+		var got, want []pairRec
+		ix := NewIndex(pts, dim, r)
+		ix.ForEachPairWithin(r, func(i, j int, d2 float64) {
+			got = append(got, pairRec{i, j, d2})
+		})
+		BruteForcePairsWithin(pts, r, func(i, j int, d2 float64) {
+			want = append(want, pairRec{i, j, d2})
+		})
+		slices.SortFunc(got, cmpPairRec)
+		slices.SortFunc(want, cmpPairRec)
+		if len(got) != len(want) {
+			t.Fatalf("pair counts differ: grid %d, brute force %d (n=%d, r=%v, side=%v)",
+				len(got), len(want), len(pts), r, ix.Side())
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("pair %d differs: grid %+v, brute force %+v (n=%d, r=%v)",
+					k, got[k], want[k], len(pts), r)
+			}
+		}
+	})
+}
