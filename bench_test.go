@@ -140,6 +140,36 @@ func benchPlacement(n int) []geom.Point {
 	return reg.UniformPoints(xrand.New(1), n)
 }
 
+// BenchmarkSnapshotClustered guards the GeoMST/spatial-grid behavior on
+// non-uniform inputs against the uniform baseline at the same n and region:
+// the k-cluster placement packs 2048 nodes into 8 dense islands, the
+// adversarial density for a CSR cell grid tuned for uniform points (many
+// points per cell inside islands, long empty annulus sweeps between them).
+// Steady state must stay 0 allocs/op on both.
+func BenchmarkSnapshotClustered(b *testing.B) {
+	const n = 2048
+	side := 16384 * math.Sqrt(float64(n)/128)
+	reg := geom.MustRegion(side, 2)
+	run := func(b *testing.B, pts []geom.Point) {
+		ws := graph.NewWorkspace()
+		ws.Profile(pts, 2) // warm the workspace buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ws.Profile(pts, 2)
+		}
+	}
+	b.Run("clustered", func(b *testing.B) {
+		place := mobility.Clusters{Clusters: 8, Radius: 0.05 * side}
+		pts := make([]geom.Point, n)
+		place.Fill(xrand.New(1), reg, pts)
+		run(b, pts)
+	})
+	b.Run("uniform", func(b *testing.B) {
+		run(b, reg.UniformPoints(xrand.New(1), n))
+	})
+}
+
 func BenchmarkDensePrimMSTN128(b *testing.B)  { benchDensePrim(b, 128) }
 func BenchmarkDensePrimMSTN512(b *testing.B)  { benchDensePrim(b, 512) }
 func BenchmarkDensePrimMSTN2048(b *testing.B) { benchDensePrim(b, 2048) }

@@ -1,14 +1,23 @@
 // Command adhocsim is the paper's connectivity simulator (Section 4.1) as a
-// CLI: it distributes n nodes uniformly in [0,l]^d, moves them with the
-// selected mobility model, rebuilds the communication graph at transmitting
-// range r after every step, and reports the percentage of connected graphs,
-// the average size of the largest connected component over the disconnected
-// graphs, and the minimum size of the largest connected component — per
-// iteration and overall.
+// CLI: it distributes n nodes in [0,l]^d (uniformly, or per -placement),
+// moves them with the selected mobility model, rebuilds the communication
+// graph at transmitting range r after every step, and reports the
+// percentage of connected graphs, the average size of the largest connected
+// component over the disconnected graphs, and the minimum size of the
+// largest connected component — per iteration and overall.
 //
 // Example (one of the paper's Figure 2 operating points):
 //
 //	adhocsim -l 4096 -n 64 -r 400 -model waypoint -iters 10 -steps 1000
+//
+// Alternatively the whole workload — region, placement, mobility, run
+// parameters and outputs — can come from a declarative scenario file (see
+// scenarios/README.md for the schema and scenarios/ for the library):
+//
+//	adhocsim -scenario scenarios/hotspot-city.json
+//
+// In scenario mode the network flags are ignored; -iters, -steps, -seed and
+// -workers still override the file when given explicitly.
 package main
 
 import (
@@ -17,10 +26,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"adhocnet/internal/core"
 	"adhocnet/internal/geom"
-	"adhocnet/internal/mobility"
+	"adhocnet/internal/scenario"
 )
 
 func main() {
@@ -31,25 +41,30 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	registry := scenario.Default()
 	fs := flag.NewFlagSet("adhocsim", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 64, "number of nodes")
-		l       = fs.Float64("l", 4096, "side of the deployment region [0,l]^d")
-		dim     = fs.Int("d", 2, "dimension of the deployment region (1, 2 or 3)")
-		r       = fs.Float64("r", 0, "transmitting range (required, > 0)")
-		iters   = fs.Int("iters", 50, "number of independent iterations")
-		steps   = fs.Int("steps", 10000, "mobility steps per iteration (1 = stationary)")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		workers = fs.Int("workers", 0, "total simulation parallelism, split across iterations and snapshots (0 = all CPUs)")
-		model   = fs.String("model", "waypoint", "mobility model: stationary, waypoint, drunkard, direction")
+		scenarioPath = fs.String("scenario", "", "run a declarative scenario file instead of the flag-built network")
+		n            = fs.Int("n", 64, "number of nodes")
+		l            = fs.Float64("l", 4096, "side of the deployment region [0,l]^d")
+		dim          = fs.Int("d", 2, "dimension of the deployment region (1, 2 or 3)")
+		r            = fs.Float64("r", 0, "transmitting range (required, > 0)")
+		iters        = fs.Int("iters", 50, "number of independent iterations")
+		steps        = fs.Int("steps", 10000, "mobility steps per iteration (1 = stationary)")
+		seed         = fs.Uint64("seed", 1, "random seed")
+		workers      = fs.Int("workers", 0, "total simulation parallelism, split across iterations and snapshots (0 = all CPUs)")
+		model        = fs.String("model", "waypoint",
+			"mobility model: "+strings.Join(registry.MobilityKinds(), ", "))
+		placement = fs.String("placement", "uniform",
+			"initial placement (registry defaults): "+strings.Join(registry.PlacementKinds(), ", "))
 		verbose = fs.Bool("per-iter", false, "print per-iteration results")
 		curve   = fs.Bool("curve", false, "also print the range-vs-uptime curve (r_f for f = 0..1)")
 
-		// Random waypoint / random direction parameters.
-		vmin        = fs.Float64("vmin", 0.1, "waypoint/direction: minimum speed (units per step)")
-		vmax        = fs.Float64("vmax", -1, "waypoint/direction: maximum speed (default 0.01*l)")
-		tpause      = fs.Int("tpause", 2000, "waypoint/direction: pause steps at destination")
-		pstationary = fs.Float64("pstationary", 0, "fraction of nodes that never move")
+		// Random waypoint / random direction / rpgm-leader parameters.
+		vmin        = fs.Float64("vmin", 0.1, "waypoint/direction/rpgm: minimum speed (units per step)")
+		vmax        = fs.Float64("vmax", -1, "waypoint/direction/rpgm: maximum speed (default 0.01*l)")
+		tpause      = fs.Int("tpause", 2000, "waypoint/direction/rpgm: pause steps at destination")
+		pstationary = fs.Float64("pstationary", 0, "waypoint/drunkard/direction/gaussmarkov: fraction of nodes that never move")
 
 		// Drunkard parameters.
 		ppause = fs.Float64("ppause", 0.3, "drunkard: per-step pause probability")
@@ -58,52 +73,73 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	if *scenarioPath != "" {
+		sc, err := registry.LoadFile(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		// Explicitly-set run flags override the file, so a library scenario
+		// can be probed at a different effort without editing it. Explicit
+		// network flags would be silently shadowed by the file — reject
+		// them instead of running a workload the user didn't ask for.
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenario", "per-iter":
+			case "iters":
+				sc.Config.Iterations = *iters
+			case "steps":
+				sc.Config.Steps = *steps
+			case "seed":
+				sc.Config.Seed = *seed
+			case "workers":
+				sc.Config.Workers = *workers
+			default:
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("flags %s have no effect with -scenario (the file defines the workload; only -iters, -steps, -seed, -workers and -per-iter apply)",
+				strings.Join(ignored, ", "))
+		}
+		if err := sc.Config.Validate(); err != nil {
+			return err
+		}
+		return runScenario(sc, *verbose, out)
+	}
+
 	if *r <= 0 {
 		return fmt.Errorf("flag -r is required and must be positive (got %v)", *r)
 	}
-	if *vmax < 0 {
-		*vmax = 0.01 * *l
-	}
-	if *m < 0 {
-		*m = 0.01 * *l
-	}
-
 	reg, err := geom.NewRegion(*l, *dim)
 	if err != nil {
 		return err
 	}
-	var mob mobility.Model
-	switch *model {
-	case "stationary":
-		mob = mobility.Stationary{}
-	case "waypoint":
-		mob = mobility.RandomWaypoint{VMin: *vmin, VMax: *vmax, PauseSteps: *tpause, PStationary: *pstationary}
-	case "drunkard":
-		mob = mobility.Drunkard{PStationary: *pstationary, PPause: *ppause, M: *m}
-	case "direction":
-		mob = mobility.RandomDirection{VMin: *vmin, VMax: *vmax, PauseSteps: *tpause, PStationary: *pstationary}
-	default:
-		return fmt.Errorf("unknown model %q", *model)
+	mob, err := registry.ModelFromFlags(reg, *model, scenario.ModelFlags{
+		VMin: *vmin, VMax: *vmax, Pause: *tpause,
+		PStationary: *pstationary, PPause: *ppause, M: *m,
+		Set: explicitFlags(fs),
+	})
+	if err != nil {
+		return err
 	}
-
+	place, err := registry.BuildPlacement(reg, scenario.Part(*placement))
+	if err != nil {
+		return err
+	}
 	net := core.Network{Nodes: *n, Region: reg, Model: mob}
+	if *placement != "uniform" {
+		net.Placement = place
+	}
 	cfg := core.RunConfig{Iterations: *iters, Steps: *steps, Seed: *seed, Workers: *workers}
 	res, err := core.EvaluateFixedRange(net, cfg, *r)
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "network: n=%d, region=[0,%g]^%d, model=%s, r=%g\n", *n, *l, *dim, mob.Name(), *r)
-	fmt.Fprintf(out, "run: %d iterations x %d steps, seed %d, workers %d (iteration x snapshot split %s)\n\n",
-		*iters, *steps, *seed, cfg.ResolvedWorkers(), cfg.FormatLevels())
-	fmt.Fprintf(out, "connected graphs:        %6.2f%%\n", 100*res.ConnectedFraction)
-	if math.IsNaN(res.AvgLargestDisconnected) {
-		fmt.Fprintf(out, "avg largest (disc.):     -      (no disconnected graphs)\n")
-	} else {
-		fmt.Fprintf(out, "avg largest (disc.):     %6.2f nodes (%.1f%% of n)\n",
-			res.AvgLargestDisconnected, 100*res.AvgLargestFraction)
-	}
-	fmt.Fprintf(out, "min largest component:   %d nodes\n", res.MinLargest)
+	printHeader(out, net, cfg, fmt.Sprintf("r=%g", *r))
+	printFixed(out, res)
 
 	if *curve {
 		fractions := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
@@ -120,18 +156,91 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *verbose {
-		fmt.Fprintf(out, "\nper-iteration results:\n")
-		fmt.Fprintf(out, "%5s %12s %14s %12s %10s %10s\n",
-			"iter", "connected%", "avgLCC(disc)", "minLCC", "outages", "maxOutage")
-		for i, it := range res.PerIteration {
-			avg := "-"
-			if !math.IsNaN(it.AvgLargestDisconnected) {
-				avg = fmt.Sprintf("%.2f", it.AvgLargestDisconnected)
+		printPerIteration(out, res)
+	}
+	return nil
+}
+
+// explicitFlags records which flags the user passed on the command line,
+// so the registry can reject mobility flags the chosen model ignores.
+func explicitFlags(fs *flag.FlagSet) map[string]bool {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// runScenario executes a scenario end-to-end: every fixed radius of the
+// spec through the paper simulator, then the range-estimation targets.
+func runScenario(sc *scenario.Scenario, verbose bool, out io.Writer) error {
+	fmt.Fprintf(out, "scenario: %s\n", sc.Spec.Name)
+	if sc.Spec.Description != "" {
+		fmt.Fprintf(out, "  %s\n", sc.Spec.Description)
+	}
+	printHeader(out, sc.Network, sc.Config, fmt.Sprintf("placement=%s", sc.PlacementName()))
+
+	if len(sc.Radii) > 0 {
+		results, err := core.EvaluateFixedRanges(sc.Network, sc.Config, sc.Radii)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			fmt.Fprintf(out, "--- r = %g ---\n", res.Radius)
+			printFixed(out, res)
+			if verbose {
+				printPerIteration(out, res)
 			}
-			fmt.Fprintf(out, "%5d %11.2f%% %14s %12d %10d %10d\n",
-				i, 100*it.ConnectedFraction, avg, it.MinLargest,
-				it.Intervals.Count, it.Intervals.MaxLength)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if len(sc.Targets.TimeFractions) > 0 || len(sc.Targets.ComponentFractions) > 0 {
+		est, err := core.EstimateRanges(sc.Network, sc.Config, sc.Targets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "range estimates (per-iteration summary):\n")
+		fmt.Fprintf(out, "%12s %12s %12s %12s %12s\n", "target", "mean", "std", "min", "max")
+		for _, e := range est.Time {
+			fmt.Fprintf(out, "  r_time(%3.0f%%) %10.2f %12.2f %12.2f %12.2f\n",
+				100*e.Target, e.Mean, e.Std, e.Min, e.Max)
+		}
+		for _, e := range est.Component {
+			fmt.Fprintf(out, "  r_comp(%3.0f%%) %10.2f %12.2f %12.2f %12.2f\n",
+				100*e.Target, e.Mean, e.Std, e.Min, e.Max)
 		}
 	}
 	return nil
+}
+
+func printHeader(out io.Writer, net core.Network, cfg core.RunConfig, extra string) {
+	fmt.Fprintf(out, "network: n=%d, region=[0,%g]^%d, model=%s, %s\n",
+		net.Nodes, net.Region.L, net.Region.Dim, net.Model.Name(), extra)
+	fmt.Fprintf(out, "run: %d iterations x %d steps, seed %d, workers %d (iteration x snapshot split %s)\n\n",
+		cfg.Iterations, cfg.Steps, cfg.Seed, cfg.ResolvedWorkers(), cfg.FormatLevels())
+}
+
+func printFixed(out io.Writer, res core.FixedRangeResult) {
+	fmt.Fprintf(out, "connected graphs:        %6.2f%%\n", 100*res.ConnectedFraction)
+	if math.IsNaN(res.AvgLargestDisconnected) {
+		fmt.Fprintf(out, "avg largest (disc.):     -      (no disconnected graphs)\n")
+	} else {
+		fmt.Fprintf(out, "avg largest (disc.):     %6.2f nodes (%.1f%% of n)\n",
+			res.AvgLargestDisconnected, 100*res.AvgLargestFraction)
+	}
+	fmt.Fprintf(out, "min largest component:   %d nodes\n", res.MinLargest)
+}
+
+func printPerIteration(out io.Writer, res core.FixedRangeResult) {
+	fmt.Fprintf(out, "\nper-iteration results:\n")
+	fmt.Fprintf(out, "%5s %12s %14s %12s %10s %10s\n",
+		"iter", "connected%", "avgLCC(disc)", "minLCC", "outages", "maxOutage")
+	for i, it := range res.PerIteration {
+		avg := "-"
+		if !math.IsNaN(it.AvgLargestDisconnected) {
+			avg = fmt.Sprintf("%.2f", it.AvgLargestDisconnected)
+		}
+		fmt.Fprintf(out, "%5d %11.2f%% %14s %12d %10d %10d\n",
+			i, 100*it.ConnectedFraction, avg, it.MinLargest,
+			it.Intervals.Count, it.Intervals.MaxLength)
+	}
 }

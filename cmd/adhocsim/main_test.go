@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -53,7 +55,7 @@ func TestRunCurve(t *testing.T) {
 }
 
 func TestRunAllModels(t *testing.T) {
-	for _, model := range []string{"stationary", "waypoint", "drunkard", "direction"} {
+	for _, model := range []string{"stationary", "waypoint", "drunkard", "direction", "gaussmarkov", "rpgm"} {
 		var out strings.Builder
 		err := run([]string{
 			"-l", "256", "-n", "10", "-r", "100",
@@ -61,6 +63,91 @@ func TestRunAllModels(t *testing.T) {
 		}, &out)
 		if err != nil {
 			t.Errorf("model %s: %v", model, err)
+		}
+	}
+}
+
+func TestRunAllPlacements(t *testing.T) {
+	for _, placement := range []string{"uniform", "hotspots", "clusters", "edge"} {
+		var out strings.Builder
+		err := run([]string{
+			"-l", "256", "-n", "10", "-r", "100",
+			"-iters", "2", "-steps", "10", "-placement", placement,
+		}, &out)
+		if err != nil {
+			t.Errorf("placement %s: %v", placement, err)
+		}
+	}
+}
+
+// TestRunEveryCheckedInScenario drives every file of the scenario library
+// through the CLI end-to-end (at overridden 1-iteration effort so the suite
+// stays fast; the overrides exercise the explicit-flag override path too).
+func TestRunEveryCheckedInScenario(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no checked-in scenarios found")
+	}
+	for _, f := range files {
+		var out strings.Builder
+		if err := run([]string{"-scenario", f, "-iters", "1", "-steps", "2"}, &out); err != nil {
+			t.Fatalf("%s: %v\n%s", f, err, out.String())
+		}
+		if !strings.Contains(out.String(), "scenario: ") {
+			t.Errorf("%s: missing scenario header:\n%s", f, out.String())
+		}
+	}
+}
+
+func TestRunScenarioOutputs(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-scenario", filepath.Join("..", "..", "scenarios", "mixed-stationary-fleet.json"),
+		"-iters", "2", "-steps", "10", "-per-iter",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"scenario: mixed-stationary-fleet",
+		"--- r = 150 ---",
+		"connected graphs:",
+		"per-iteration results:",
+		"range estimates",
+		"r_time(100%)",
+		"r_comp( 90%)",
+		"2 iterations x 10 steps",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","region":{"l":10},"nodes":4,`+
+		`"mobility":{"kind":"teleport"},"run":{"iterations":1,"steps":1},"radii":[1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]string{
+		"missing file": {"-scenario", filepath.Join(dir, "nope.json")},
+		"unknown kind": {"-scenario", bad},
+		"bad override": {"-scenario", filepath.Join("..", "..", "scenarios", "hotspot-city.json"), "-iters", "-1"},
+		// Network flags are defined by the file; an explicit one that
+		// would be silently shadowed must be rejected, not ignored.
+		"shadowed -n":     {"-scenario", filepath.Join("..", "..", "scenarios", "hotspot-city.json"), "-n", "500"},
+		"shadowed -model": {"-scenario", filepath.Join("..", "..", "scenarios", "hotspot-city.json"), "-model", "drunkard"},
+	}
+	for name, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: no error", name)
 		}
 	}
 }

@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/mobility"
+	"adhocnet/internal/scenario"
 	"adhocnet/internal/stats"
 	"adhocnet/internal/trace"
 	"adhocnet/internal/xrand"
@@ -44,9 +46,13 @@ func run(args []string, out io.Writer) error {
 }
 
 func genCmd(args []string, out io.Writer) error {
+	registry := scenario.Default()
 	fs := flag.NewFlagSet("mobgen gen", flag.ContinueOnError)
 	var (
-		model       = fs.String("model", "waypoint", "mobility model: stationary, waypoint, drunkard, direction")
+		model = fs.String("model", "waypoint",
+			"mobility model: "+strings.Join(registry.MobilityKinds(), ", "))
+		placement = fs.String("placement", "uniform",
+			"initial placement (registry defaults): "+strings.Join(registry.PlacementKinds(), ", "))
 		l           = fs.Float64("l", 1000, "region side")
 		dim         = fs.Int("d", 2, "region dimension")
 		n           = fs.Int("n", 32, "number of nodes")
@@ -54,10 +60,10 @@ func genCmd(args []string, out io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "random seed")
 		outPath     = fs.String("o", "", "output file (required)")
 		text        = fs.Bool("text", false, "write the text format instead of binary")
-		vmin        = fs.Float64("vmin", 0.1, "waypoint/direction: min speed")
-		vmax        = fs.Float64("vmax", -1, "waypoint/direction: max speed (default 0.01*l)")
-		tpause      = fs.Int("tpause", 2000, "waypoint/direction: pause steps")
-		pstationary = fs.Float64("pstationary", 0, "fraction of permanently stationary nodes")
+		vmin        = fs.Float64("vmin", 0.1, "waypoint/direction/rpgm: min speed")
+		vmax        = fs.Float64("vmax", -1, "waypoint/direction/rpgm: max speed (default 0.01*l)")
+		tpause      = fs.Int("tpause", 2000, "waypoint/direction/rpgm: pause steps")
+		pstationary = fs.Float64("pstationary", 0, "waypoint/drunkard/direction/gaussmarkov: fraction of permanently stationary nodes")
 		ppause      = fs.Float64("ppause", 0.3, "drunkard: per-step pause probability")
 		m           = fs.Float64("m", -1, "drunkard: step radius (default 0.01*l)")
 	)
@@ -67,30 +73,27 @@ func genCmd(args []string, out io.Writer) error {
 	if *outPath == "" {
 		return fmt.Errorf("flag -o is required")
 	}
-	if *vmax < 0 {
-		*vmax = 0.01 * *l
-	}
-	if *m < 0 {
-		*m = 0.01 * *l
-	}
 	reg, err := geom.NewRegion(*l, *dim)
 	if err != nil {
 		return err
 	}
-	var mob mobility.Model
-	switch *model {
-	case "stationary":
-		mob = mobility.Stationary{}
-	case "waypoint":
-		mob = mobility.RandomWaypoint{VMin: *vmin, VMax: *vmax, PauseSteps: *tpause, PStationary: *pstationary}
-	case "drunkard":
-		mob = mobility.Drunkard{PStationary: *pstationary, PPause: *ppause, M: *m}
-	case "direction":
-		mob = mobility.RandomDirection{VMin: *vmin, VMax: *vmax, PauseSteps: *tpause, PStationary: *pstationary}
-	default:
-		return fmt.Errorf("unknown model %q", *model)
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	mob, err := registry.ModelFromFlags(reg, *model, scenario.ModelFlags{
+		VMin: *vmin, VMax: *vmax, Pause: *tpause,
+		PStationary: *pstationary, PPause: *ppause, M: *m,
+		Set: explicit,
+	})
+	if err != nil {
+		return err
 	}
-	tr, err := trace.Record(mob, reg, *n, *steps, xrand.New(*seed))
+	var place mobility.Placement
+	if *placement != "uniform" {
+		if place, err = registry.BuildPlacement(reg, scenario.Part(*placement)); err != nil {
+			return err
+		}
+	}
+	tr, err := trace.Record(mob, reg, *n, *steps, xrand.New(*seed), place)
 	if err != nil {
 		return err
 	}

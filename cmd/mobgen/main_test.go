@@ -61,13 +61,26 @@ func TestGenInfoConvertRoundTrip(t *testing.T) {
 
 func TestGenAllModels(t *testing.T) {
 	dir := t.TempDir()
-	for _, model := range []string{"stationary", "waypoint", "drunkard", "direction"} {
+	for _, model := range []string{"stationary", "waypoint", "drunkard", "direction", "gaussmarkov", "rpgm"} {
 		var out strings.Builder
 		path := filepath.Join(dir, model+".bin")
 		err := run([]string{"gen", "-model", model, "-l", "200", "-n", "6",
 			"-steps", "10", "-o", path}, &out)
 		if err != nil {
 			t.Errorf("model %s: %v", model, err)
+		}
+	}
+}
+
+func TestGenAllPlacements(t *testing.T) {
+	dir := t.TempDir()
+	for _, placement := range []string{"uniform", "hotspots", "clusters", "edge"} {
+		var out strings.Builder
+		path := filepath.Join(dir, placement+".bin")
+		err := run([]string{"gen", "-model", "stationary", "-placement", placement,
+			"-l", "200", "-n", "6", "-steps", "3", "-o", path}, &out)
+		if err != nil {
+			t.Errorf("placement %s: %v", placement, err)
 		}
 	}
 }
@@ -97,6 +110,7 @@ func TestErrors(t *testing.T) {
 		"unknown command":  {"frobnicate"},
 		"gen missing -o":   {"gen", "-model", "waypoint"},
 		"gen bad model":    {"gen", "-model", "x", "-o", filepath.Join(dir, "t")},
+		"gen bad place":    {"gen", "-placement", "x", "-o", filepath.Join(dir, "t")},
 		"info missing arg": {"info"},
 		"info no file":     {"info", filepath.Join(dir, "nope.bin")},
 		"convert bad args": {"convert", "-to", "text", "only-one"},

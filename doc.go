@@ -5,7 +5,16 @@
 //
 //   - the paper's connectivity simulator for stationary and mobile ad hoc
 //     networks (internal/core), with the random waypoint and drunkard
-//     mobility models of Section 4.1 (internal/mobility);
+//     mobility models of Section 4.1 plus Gauss–Markov and reference-point
+//     group mobility, and pluggable initial-placement distributions
+//     (uniform, Gaussian hotspots, k-cluster, edge-concentrated) behind the
+//     mobility.Placement abstraction (internal/mobility);
+//   - a declarative scenario engine (internal/scenario): JSON workload
+//     specs with strict validation, name->factory registries for mobility
+//     models and placements shared by every CLI and experiment, and a
+//     checked-in scenario library (scenarios/, embedded as Scenarios) that
+//     re-expresses the paper presets bit-identically and adds beyond-paper
+//     workloads — run one with `adhocsim -scenario scenarios/<name>.json`;
 //   - the occupancy theory of Section 2 (internal/occupancy) and the exact
 //     1-D connectivity results of Section 3 (internal/unidim), including the
 //     {10*1} cell-pattern machinery behind Theorem 4;

@@ -80,7 +80,7 @@ func main() {
 	}
 	r100 := est.Time[0].Max
 
-	state, err := model.NewState(xrand.New(33), region, nodes)
+	state, err := model.NewState(xrand.New(33), region, nodes, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

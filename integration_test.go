@@ -42,7 +42,7 @@ func TestTraceReplayMatchesLiveSimulation(t *testing.T) {
 	// stream per iteration from the master seed; mirror that derivation so
 	// the trace sees the identical randomness.
 	iterRng := xrand.New(77).SplitN(1)[0]
-	tr, err := trace.Record(model, reg, n, steps, iterRng)
+	tr, err := trace.Record(model, reg, n, steps, iterRng, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,12 +30,14 @@ import (
 )
 
 // Network describes the simulated ad hoc network M_d = (N, P): node count,
-// deployment region [0,l]^d, and the mobility model that realizes the
-// placement function P.
+// deployment region [0,l]^d, the mobility model that realizes the placement
+// function P over time, and the initial-position distribution (nil means
+// the paper's i.i.d. uniform placement).
 type Network struct {
-	Nodes  int
-	Region geom.Region
-	Model  mobility.Model
+	Nodes     int
+	Region    geom.Region
+	Model     mobility.Model
+	Placement mobility.Placement
 }
 
 // Validate checks the network description.
@@ -49,7 +51,13 @@ func (n Network) Validate() error {
 	if n.Model == nil {
 		return fmt.Errorf("core: network has no mobility model")
 	}
-	return n.Model.Validate()
+	if err := n.Model.Validate(); err != nil {
+		return err
+	}
+	if n.Placement != nil {
+		return n.Placement.Validate(n.Region)
+	}
+	return nil
 }
 
 // RunConfig fixes the Monte-Carlo parameters of a simulation: the number of

@@ -84,7 +84,7 @@ func TestProfileComponentTargetMatchesDirectEvaluation(t *testing.T) {
 	r := est.Component[0].PerIteration[0]
 
 	// Recompute the average largest component at r directly.
-	state, err := net.Model.NewState(seedForIteration(cfg, 0), net.Region, net.Nodes)
+	state, err := net.Model.NewState(seedForIteration(cfg, 0), net.Region, net.Nodes, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestProfileComponentTargetMatchesDirectEvaluation(t *testing.T) {
 	}
 	// Just below the estimated radius the target must not be met (minimality).
 	sum = 0
-	state, err = net.Model.NewState(seedForIteration(cfg, 0), net.Region, net.Nodes)
+	state, err = net.Model.NewState(seedForIteration(cfg, 0), net.Region, net.Nodes, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,7 +29,7 @@ func denseEstimateReference(t *testing.T, net Network, cfg RunConfig, targets Ra
 		compVals[i] = make([]float64, cfg.Iterations)
 	}
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		state, err := net.Model.NewState(seedForIteration(cfg, iter), net.Region, net.Nodes)
+		state, err := net.Model.NewState(seedForIteration(cfg, iter), net.Region, net.Nodes, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -24,11 +24,11 @@ type failingModel struct {
 func (failingModel) Name() string    { return "failing" }
 func (failingModel) Validate() error { return nil }
 
-func (m failingModel) NewState(rng *xrand.Rand, reg geom.Region, n int) (mobility.State, error) {
+func (m failingModel) NewState(rng *xrand.Rand, reg geom.Region, n int, place mobility.Placement) (mobility.State, error) {
 	if rng.Float64() < m.failProb {
 		return nil, errInjected
 	}
-	return mobility.Stationary{}.NewState(rng, reg, n)
+	return mobility.Stationary{}.NewState(rng, reg, n, place)
 }
 
 // escapingModel places nodes outside the declared region — a contract
@@ -39,7 +39,7 @@ type escapingModel struct{}
 func (escapingModel) Name() string    { return "escaping" }
 func (escapingModel) Validate() error { return nil }
 
-func (escapingModel) NewState(rng *xrand.Rand, reg geom.Region, n int) (mobility.State, error) {
+func (escapingModel) NewState(rng *xrand.Rand, reg geom.Region, n int, _ mobility.Placement) (mobility.State, error) {
 	pts := make([]geom.Point, n)
 	for i := range pts {
 		pts[i] = geom.Point{X: reg.L * 10 * rng.Float64(), Y: -reg.L * rng.Float64()}

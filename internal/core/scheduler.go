@@ -148,7 +148,7 @@ func runTrajectory[R any](net Network, steps, inner int, rng *xrand.Rand, ws *gr
 	eval func(step int, pts []geom.Point, ws *graph.Workspace, out R),
 	merge func(step int, out R),
 ) error {
-	state, err := net.Model.NewState(rng, net.Region, net.Nodes)
+	state, err := net.Model.NewState(rng, net.Region, net.Nodes, net.Placement)
 	if err != nil {
 		return err
 	}

@@ -94,7 +94,7 @@ func Run(net core.Network, runCfg core.RunConfig, cfg Config) (Result, error) {
 	}
 
 	err := forEachIterationSeeds(runCfg, func(iter int, rng *xrand.Rand) error {
-		state, err := net.Model.NewState(rng, net.Region, net.Nodes)
+		state, err := net.Model.NewState(rng, net.Region, net.Nodes, net.Placement)
 		if err != nil {
 			return err
 		}

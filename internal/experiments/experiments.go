@@ -217,4 +217,5 @@ var registry = []Experiment{
 	extRangeAssignExperiment(),
 	extDataMuleExperiment(),
 	extSweepExperiment(),
+	extScenariosExperiment(),
 }

@@ -1,0 +1,144 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// GaussMarkov is the Gauss–Markov mobility model [Liang-Haas '99, in the
+// velocity-vector form surveyed by Camp-Boleng-Davies '02]: each node's
+// per-step velocity is a mean-reverting AR(1) process
+//
+//	v(t+1) = alpha*v(t) + (1-alpha)*s*d + sqrt(1-alpha^2)*sigma*w(t)
+//
+// where s is the node's mean speed, d its mean direction (a unit vector
+// drawn at start-up), w(t) an i.i.d. standard Gaussian vector over the
+// region's active coordinates, and alpha in [0,1) the memory level. Unlike
+// waypoint/drunkard motion, consecutive steps are correlated — trajectories
+// are smooth, with no sharp turns and no pauses. Nodes reflect off the
+// region boundary; a reflection flips the corresponding component of both
+// the velocity and the mean direction, so nodes steer away from walls
+// instead of sticking to them.
+//
+// The paper's p_stationary extension applies as in the other models.
+type GaussMarkov struct {
+	Alpha       float64 // velocity memory in [0,1): 0 = memoryless, ->1 = straight lines
+	MeanSpeed   float64 // mean speed s, distance units per step, > 0
+	Sigma       float64 // asymptotic per-coordinate velocity std deviation, >= 0
+	PStationary float64 // probability a node remains stationary forever
+}
+
+// Name implements Model.
+func (GaussMarkov) Name() string { return "gaussmarkov" }
+
+// Validate implements Model.
+func (m GaussMarkov) Validate() error {
+	if m.Alpha < 0 || m.Alpha >= 1 || math.IsNaN(m.Alpha) {
+		return fmt.Errorf("mobility: gaussmarkov needs Alpha in [0,1), got %v", m.Alpha)
+	}
+	if !(m.MeanSpeed > 0) {
+		return fmt.Errorf("mobility: gaussmarkov needs MeanSpeed > 0, got %v", m.MeanSpeed)
+	}
+	if m.Sigma < 0 || math.IsNaN(m.Sigma) {
+		return fmt.Errorf("mobility: gaussmarkov needs Sigma >= 0, got %v", m.Sigma)
+	}
+	if m.PStationary < 0 || m.PStationary > 1 {
+		return fmt.Errorf("mobility: PStationary must be in [0,1], got %v", m.PStationary)
+	}
+	return nil
+}
+
+// NewState implements Model.
+func (m GaussMarkov) NewState(rng *xrand.Rand, reg geom.Region, n int, place Placement) (State, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	pts, err := initialPositions(rng, reg, n, place)
+	if err != nil {
+		return nil, err
+	}
+	s := &gaussMarkovState{
+		cfg:   m,
+		rng:   rng,
+		reg:   reg,
+		pts:   pts,
+		nodes: make([]gaussMarkovNode, n),
+	}
+	for i := range s.nodes {
+		if rng.Bool(m.PStationary) {
+			s.nodes[i].frozen = true
+			continue
+		}
+		dir := reg.UnitVector(rng)
+		s.nodes[i].meanDir = dir
+		s.nodes[i].vel = dir.Scale(m.MeanSpeed)
+	}
+	return s, nil
+}
+
+type gaussMarkovNode struct {
+	frozen  bool
+	vel     geom.Point // current velocity, distance units per step
+	meanDir geom.Point // mean direction d, unit vector
+}
+
+type gaussMarkovState struct {
+	cfg   GaussMarkov
+	rng   *xrand.Rand
+	reg   geom.Region
+	pts   []geom.Point
+	nodes []gaussMarkovNode
+}
+
+func (s *gaussMarkovState) Positions() []geom.Point { return s.pts }
+
+func (s *gaussMarkovState) Step() {
+	alpha := s.cfg.Alpha
+	drift := (1 - alpha) * s.cfg.MeanSpeed
+	noise := math.Sqrt(1-alpha*alpha) * s.cfg.Sigma
+	for i := range s.nodes {
+		nd := &s.nodes[i]
+		if nd.frozen {
+			continue
+		}
+		w := gaussianAround(s.rng, s.reg, geom.Point{}, 1)
+		nd.vel = nd.vel.Scale(alpha).Add(nd.meanDir.Scale(drift)).Add(w.Scale(noise))
+		next := s.pts[i].Add(nd.vel)
+		// Reflect off each boundary, flipping the velocity and the mean
+		// direction in every coordinate that bounced.
+		next.X = s.bounce(next.X, &nd.vel.X, &nd.meanDir.X)
+		if s.reg.Dim >= 2 {
+			next.Y = s.bounce(next.Y, &nd.vel.Y, &nd.meanDir.Y)
+		}
+		if s.reg.Dim >= 3 {
+			next.Z = s.bounce(next.Z, &nd.vel.Z, &nd.meanDir.Z)
+		}
+		s.pts[i] = next
+	}
+}
+
+// bounce folds coordinate v into [0,l] by mirror reflection and negates
+// *vel and *dir when the fold crossed a boundary an odd number of times.
+// Unfolding the reflections tiles the line with alternating forward and
+// mirrored copies of [0,l]; v modulo 2l lands in the mirrored copy exactly
+// when the reflection count is odd.
+func (s *gaussMarkovState) bounce(v float64, vel, dir *float64) float64 {
+	l := s.reg.L
+	if v >= 0 && v <= l {
+		return v
+	}
+	period := 2 * l
+	m := math.Mod(v, period)
+	if m < 0 {
+		m += period
+	}
+	if m > l {
+		*vel = -*vel
+		*dir = -*dir
+		return period - m
+	}
+	return m
+}

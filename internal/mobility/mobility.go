@@ -8,8 +8,13 @@
 // of non-intentional movement — both extended with the paper's p_stationary
 // parameter (the probability that a node never moves, modeling sensors stuck
 // in vegetation or a mixed fleet of fixed and mobile nodes). A stationary
-// model and a random-direction model (an extension beyond the paper) are also
-// included.
+// model, a random-direction model, the Gauss–Markov smooth-motion model
+// (gaussmarkov.go) and reference-point group mobility (rpgm.go) extend the
+// set beyond the paper.
+//
+// Initial positions are drawn through the Placement abstraction
+// (placement.go): every model's NewState accepts a Placement, with nil
+// meaning the paper's i.i.d. uniform placement.
 package mobility
 
 import (
@@ -27,10 +32,10 @@ type Model interface {
 	Name() string
 	// Validate checks the configuration parameters.
 	Validate() error
-	// NewState draws initial node positions (independent and uniform in the
-	// region, as the paper's simulator does) and returns the motion state.
-	// The state owns the provided generator.
-	NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error)
+	// NewState draws initial node positions from the placement (nil means
+	// independent and uniform in the region, as the paper's simulator does)
+	// and returns the motion state. The state owns the provided generator.
+	NewState(rng *xrand.Rand, reg geom.Region, n int, place Placement) (State, error)
 }
 
 // State is the evolving position state of one simulation run.
@@ -53,11 +58,12 @@ func (Stationary) Name() string { return "stationary" }
 func (Stationary) Validate() error { return nil }
 
 // NewState implements Model.
-func (Stationary) NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("mobility: negative node count %d", n)
+func (Stationary) NewState(rng *xrand.Rand, reg geom.Region, n int, place Placement) (State, error) {
+	pts, err := initialPositions(rng, reg, n, place)
+	if err != nil {
+		return nil, err
 	}
-	return &stationaryState{pts: reg.UniformPoints(rng, n)}, nil
+	return &stationaryState{pts: pts}, nil
 }
 
 type stationaryState struct {
@@ -100,18 +106,19 @@ func (m RandomWaypoint) Validate() error {
 }
 
 // NewState implements Model.
-func (m RandomWaypoint) NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error) {
+func (m RandomWaypoint) NewState(rng *xrand.Rand, reg geom.Region, n int, place Placement) (State, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if n < 0 {
-		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	pts, err := initialPositions(rng, reg, n, place)
+	if err != nil {
+		return nil, err
 	}
 	s := &waypointState{
 		cfg:   m,
 		rng:   rng,
 		reg:   reg,
-		pts:   reg.UniformPoints(rng, n),
+		pts:   pts,
 		nodes: make([]waypointNode, n),
 	}
 	for i := range s.nodes {
@@ -205,18 +212,19 @@ func (m Drunkard) Validate() error {
 }
 
 // NewState implements Model.
-func (m Drunkard) NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error) {
+func (m Drunkard) NewState(rng *xrand.Rand, reg geom.Region, n int, place Placement) (State, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if n < 0 {
-		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	pts, err := initialPositions(rng, reg, n, place)
+	if err != nil {
+		return nil, err
 	}
 	s := &drunkardState{
 		cfg:    m,
 		rng:    rng,
 		reg:    reg,
-		pts:    reg.UniformPoints(rng, n),
+		pts:    pts,
 		frozen: make([]bool, n),
 	}
 	for i := range s.frozen {
@@ -285,18 +293,19 @@ func (m RandomDirection) Validate() error {
 }
 
 // NewState implements Model.
-func (m RandomDirection) NewState(rng *xrand.Rand, reg geom.Region, n int) (State, error) {
+func (m RandomDirection) NewState(rng *xrand.Rand, reg geom.Region, n int, place Placement) (State, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if n < 0 {
-		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	pts, err := initialPositions(rng, reg, n, place)
+	if err != nil {
+		return nil, err
 	}
 	s := &directionState{
 		cfg:   m,
 		rng:   rng,
 		reg:   reg,
-		pts:   reg.UniformPoints(rng, n),
+		pts:   pts,
 		nodes: make([]directionNode, n),
 	}
 	for i := range s.nodes {

@@ -16,6 +16,9 @@ func allModels(l float64) []Model {
 		RandomWaypoint{VMin: 1, VMax: 1, PauseSteps: 0, PStationary: 0.5},
 		Drunkard{PStationary: 0.1, PPause: 0.3, M: 0.01 * l},
 		RandomDirection{VMin: 0.5, VMax: 2, PauseSteps: 3},
+		GaussMarkov{Alpha: 0.8, MeanSpeed: 0.01 * l, Sigma: 0.005 * l},
+		GaussMarkov{Alpha: 0, MeanSpeed: 0.01 * l, Sigma: 0.01 * l, PStationary: 0.3},
+		RPGM{Groups: 4, GroupRadius: 0.1 * l, Jitter: 0.01 * l, VMin: 0.1, VMax: 0.01 * l, PauseSteps: 2},
 	}
 }
 
@@ -24,7 +27,7 @@ func TestPositionsStayInRegion(t *testing.T) {
 		reg := geom.MustRegion(100, dim)
 		for _, m := range allModels(reg.L) {
 			rng := xrand.New(42)
-			st, err := m.NewState(rng, reg, 30)
+			st, err := m.NewState(rng, reg, 30, nil)
 			if err != nil {
 				t.Fatalf("%s dim=%d: %v", m.Name(), dim, err)
 			}
@@ -51,7 +54,7 @@ func TestInitialPlacementUniform(t *testing.T) {
 		const runs = 200
 		const n = 50
 		for run := 0; run < runs; run++ {
-			st, err := m.NewState(rng.Split(), reg, n)
+			st, err := m.NewState(rng.Split(), reg, n, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -69,7 +72,7 @@ func TestInitialPlacementUniform(t *testing.T) {
 
 func TestStationaryNeverMoves(t *testing.T) {
 	reg := geom.MustRegion(50, 2)
-	st, err := Stationary{}.NewState(xrand.New(1), reg, 10)
+	st, err := Stationary{}.NewState(xrand.New(1), reg, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +90,7 @@ func TestStationaryNeverMoves(t *testing.T) {
 func TestWaypointMovesTowardDestination(t *testing.T) {
 	reg := geom.MustRegion(100, 2)
 	m := RandomWaypoint{VMin: 1, VMax: 1, PauseSteps: 0}
-	st, err := m.NewState(xrand.New(3), reg, 5)
+	st, err := m.NewState(xrand.New(3), reg, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +112,7 @@ func TestWaypointMovesTowardDestination(t *testing.T) {
 func TestWaypointSpeedBounds(t *testing.T) {
 	reg := geom.MustRegion(1000, 2)
 	m := RandomWaypoint{VMin: 2, VMax: 5, PauseSteps: 0}
-	st, err := m.NewState(xrand.New(11), reg, 40)
+	st, err := m.NewState(xrand.New(11), reg, 40, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +133,7 @@ func TestWaypointPausesAtDestination(t *testing.T) {
 	// must then stay put for exactly PauseSteps steps.
 	reg := geom.MustRegion(10, 2)
 	m := RandomWaypoint{VMin: 100, VMax: 100, PauseSteps: 4}
-	st, err := m.NewState(xrand.New(5), reg, 1)
+	st, err := m.NewState(xrand.New(5), reg, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +152,7 @@ func TestWaypointPStationaryFreezesFraction(t *testing.T) {
 	m := RandomWaypoint{VMin: 1, VMax: 2, PauseSteps: 0, PStationary: 0.5}
 	rng := xrand.New(9)
 	const n = 2000
-	st, err := m.NewState(rng, reg, n)
+	st, err := m.NewState(rng, reg, n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +175,7 @@ func TestWaypointPStationaryFreezesFraction(t *testing.T) {
 func TestWaypointPStationaryOneIsStationary(t *testing.T) {
 	reg := geom.MustRegion(100, 2)
 	m := RandomWaypoint{VMin: 1, VMax: 2, PStationary: 1}
-	st, err := m.NewState(xrand.New(13), reg, 20)
+	st, err := m.NewState(xrand.New(13), reg, 20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +193,7 @@ func TestWaypointPStationaryOneIsStationary(t *testing.T) {
 func TestDrunkardStepBound(t *testing.T) {
 	reg := geom.MustRegion(100, 2)
 	m := Drunkard{PPause: 0, M: 2}
-	st, err := m.NewState(xrand.New(17), reg, 30)
+	st, err := m.NewState(xrand.New(17), reg, 30, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +211,7 @@ func TestDrunkardStepBound(t *testing.T) {
 func TestDrunkardPPauseOneNeverMoves(t *testing.T) {
 	reg := geom.MustRegion(100, 2)
 	m := Drunkard{PPause: 1, M: 5}
-	st, err := m.NewState(xrand.New(19), reg, 10)
+	st, err := m.NewState(xrand.New(19), reg, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +230,7 @@ func TestDrunkardPauseFraction(t *testing.T) {
 	// With PPause=0.3 about 30% of the node-steps should be pauses.
 	reg := geom.MustRegion(1000, 2)
 	m := Drunkard{PPause: 0.3, M: 1}
-	st, err := m.NewState(xrand.New(23), reg, 100)
+	st, err := m.NewState(xrand.New(23), reg, 100, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +256,7 @@ func TestDrunkardLargeStepRadiusStaysInside(t *testing.T) {
 	// and keep nodes inside.
 	reg := geom.MustRegion(10, 2)
 	m := Drunkard{PPause: 0, M: 50}
-	st, err := m.NewState(xrand.New(29), reg, 20)
+	st, err := m.NewState(xrand.New(29), reg, 20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +273,7 @@ func TestDrunkardLargeStepRadiusStaysInside(t *testing.T) {
 func TestRandomDirectionTravelsStraight(t *testing.T) {
 	reg := geom.MustRegion(1e6, 2) // huge region: no boundary interaction
 	m := RandomDirection{VMin: 1, VMax: 1, PauseSteps: 0}
-	st, err := m.NewState(xrand.New(31), reg, 3)
+	st, err := m.NewState(xrand.New(31), reg, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,13 +305,22 @@ func TestValidation(t *testing.T) {
 		{"drunkard zero m", Drunkard{M: 0}},
 		{"drunkard bad pstationary", Drunkard{PStationary: 2, M: 1}},
 		{"direction vmax < vmin", RandomDirection{VMin: 3, VMax: 2}},
+		{"gaussmarkov alpha 1", GaussMarkov{Alpha: 1, MeanSpeed: 1, Sigma: 1}},
+		{"gaussmarkov negative alpha", GaussMarkov{Alpha: -0.1, MeanSpeed: 1}},
+		{"gaussmarkov zero speed", GaussMarkov{Alpha: 0.5, MeanSpeed: 0}},
+		{"gaussmarkov negative sigma", GaussMarkov{Alpha: 0.5, MeanSpeed: 1, Sigma: -1}},
+		{"gaussmarkov bad pstationary", GaussMarkov{Alpha: 0.5, MeanSpeed: 1, PStationary: -0.5}},
+		{"rpgm zero groups", RPGM{Groups: 0, VMin: 0, VMax: 1}},
+		{"rpgm negative radius", RPGM{Groups: 2, GroupRadius: -1, VMin: 0, VMax: 1}},
+		{"rpgm negative jitter", RPGM{Groups: 2, Jitter: -1, VMin: 0, VMax: 1}},
+		{"rpgm vmax < vmin", RPGM{Groups: 2, VMin: 2, VMax: 1}},
 	}
 	reg := geom.MustRegion(10, 2)
 	for _, c := range cases {
 		if err := c.m.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted bad config", c.name)
 		}
-		if _, err := c.m.NewState(xrand.New(1), reg, 5); err == nil {
+		if _, err := c.m.NewState(xrand.New(1), reg, 5, nil); err == nil {
 			t.Errorf("%s: NewState accepted bad config", c.name)
 		}
 	}
@@ -317,7 +329,7 @@ func TestValidation(t *testing.T) {
 func TestNegativeNodeCountRejected(t *testing.T) {
 	reg := geom.MustRegion(10, 2)
 	for _, m := range allModels(reg.L) {
-		if _, err := m.NewState(xrand.New(1), reg, -1); err == nil {
+		if _, err := m.NewState(xrand.New(1), reg, -1, nil); err == nil {
 			t.Errorf("%s: accepted negative node count", m.Name())
 		}
 	}
@@ -326,11 +338,11 @@ func TestNegativeNodeCountRejected(t *testing.T) {
 func TestDeterministicGivenSeed(t *testing.T) {
 	reg := geom.MustRegion(100, 2)
 	for _, m := range allModels(reg.L) {
-		a, err := m.NewState(xrand.New(123), reg, 20)
+		a, err := m.NewState(xrand.New(123), reg, 20, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := m.NewState(xrand.New(123), reg, 20)
+		b, err := m.NewState(xrand.New(123), reg, 20, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -381,7 +393,7 @@ func TestModelNames(t *testing.T) {
 func BenchmarkWaypointStep128(b *testing.B) {
 	reg := geom.MustRegion(16384, 2)
 	m := PaperWaypoint(reg.L)
-	st, err := m.NewState(xrand.New(1), reg, 128)
+	st, err := m.NewState(xrand.New(1), reg, 128, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -394,7 +406,7 @@ func BenchmarkWaypointStep128(b *testing.B) {
 func BenchmarkDrunkardStep128(b *testing.B) {
 	reg := geom.MustRegion(16384, 2)
 	m := PaperDrunkard(reg.L)
-	st, err := m.NewState(xrand.New(1), reg, 128)
+	st, err := m.NewState(xrand.New(1), reg, 128, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

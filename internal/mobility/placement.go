@@ -1,0 +1,212 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// Placement is an initial-position distribution: it realizes the placement
+// function P of the paper's system model at t = 0. The paper only studies
+// i.i.d. uniform placements; this abstraction lets a scenario swap in
+// non-uniform ones (hotspots, clusters, edge-concentrated) without touching
+// the mobility models, which receive a Placement through NewState and only
+// ever call Fill once per run.
+//
+// Implementations are small value types safe to copy and reuse across runs,
+// like Model. All randomness must come from the provided generator so runs
+// stay deterministic and worker-invariant.
+type Placement interface {
+	// Name returns a short identifier used in reports ("uniform",
+	// "hotspots", ...).
+	Name() string
+	// Validate checks the parameters against the deployment region.
+	Validate(reg geom.Region) error
+	// Fill overwrites every element of pts with one initial position.
+	// Callers must Validate first; Fill may assume a valid configuration.
+	Fill(rng *xrand.Rand, reg geom.Region, pts []geom.Point)
+}
+
+// initialPositions draws the n initial node positions of a run: uniform in
+// the region when place is nil (the paper's assumption, and the historical
+// behavior of every model), otherwise from the given placement. It is the
+// single entry point the mobility models use, so a placement's random-draw
+// sequence is identical whichever model consumes it.
+func initialPositions(rng *xrand.Rand, reg geom.Region, n int, place Placement) ([]geom.Point, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	}
+	pts := make([]geom.Point, n)
+	if place == nil {
+		reg.FillUniformPoints(rng, pts)
+		return pts, nil
+	}
+	if err := place.Validate(reg); err != nil {
+		return nil, err
+	}
+	place.Fill(rng, reg, pts)
+	return pts, nil
+}
+
+// placeAttempts bounds the rejection sampling of the bounded placements
+// before falling back to clamping, mirroring the drunkard step law.
+const placeAttempts = 64
+
+// Uniform is the paper's placement: nodes i.i.d. uniform in [0,l]^d. It is
+// behaviorally identical to passing a nil Placement (same random draws).
+type Uniform struct{}
+
+// Name implements Placement.
+func (Uniform) Name() string { return "uniform" }
+
+// Validate implements Placement.
+func (Uniform) Validate(geom.Region) error { return nil }
+
+// Fill implements Placement.
+func (Uniform) Fill(rng *xrand.Rand, reg geom.Region, pts []geom.Point) {
+	reg.FillUniformPoints(rng, pts)
+}
+
+// GaussianHotspots concentrates nodes around a few attraction points: each
+// run draws Hotspots centers uniformly in the region, and every node picks a
+// center uniformly at random and lands at a Gaussian offset of standard
+// deviation Sigma (distance units, per active coordinate) from it. Samples
+// falling outside the region are redrawn a bounded number of times, then
+// clamped. It models urban densities — most nodes near a few gathering
+// places, a thin background elsewhere.
+type GaussianHotspots struct {
+	Hotspots int     // number of attraction points, >= 1
+	Sigma    float64 // per-coordinate Gaussian spread around a hotspot, > 0
+}
+
+// Name implements Placement.
+func (GaussianHotspots) Name() string { return "hotspots" }
+
+// Validate implements Placement.
+func (p GaussianHotspots) Validate(geom.Region) error {
+	if p.Hotspots < 1 {
+		return fmt.Errorf("mobility: hotspots placement needs >= 1 hotspot, got %d", p.Hotspots)
+	}
+	if !(p.Sigma > 0) {
+		return fmt.Errorf("mobility: hotspots placement needs Sigma > 0, got %v", p.Sigma)
+	}
+	return nil
+}
+
+// Fill implements Placement.
+func (p GaussianHotspots) Fill(rng *xrand.Rand, reg geom.Region, pts []geom.Point) {
+	centers := reg.UniformPoints(rng, p.Hotspots)
+	for i := range pts {
+		c := centers[rng.Intn(p.Hotspots)]
+		var cand geom.Point
+		for a := 0; a < placeAttempts; a++ {
+			cand = gaussianAround(rng, reg, c, p.Sigma)
+			if reg.Contains(cand) {
+				break
+			}
+		}
+		pts[i] = reg.Clamp(cand)
+	}
+}
+
+// gaussianAround returns c plus an isotropic Gaussian offset of standard
+// deviation sigma in the region's active coordinates.
+func gaussianAround(rng *xrand.Rand, reg geom.Region, c geom.Point, sigma float64) geom.Point {
+	out := geom.Point{X: c.X + sigma*rng.NormFloat64()}
+	if reg.Dim >= 2 {
+		out.Y = c.Y + sigma*rng.NormFloat64()
+	}
+	if reg.Dim >= 3 {
+		out.Z = c.Z + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+// Clusters is the balanced k-cluster placement: each run draws Clusters
+// cluster centers uniformly in the region and assigns node i to cluster
+// i mod Clusters, uniformly within the ball of the given Radius around its
+// center (redrawn a bounded number of times when outside the region, then
+// clamped). With a radius well below the mean center separation this is the
+// classical "islands" workload that stresses spatial indexes built for
+// uniform densities.
+type Clusters struct {
+	Clusters int     // number of clusters, >= 1
+	Radius   float64 // cluster radius, >= 0 (0 collapses each cluster to a point)
+}
+
+// Name implements Placement.
+func (Clusters) Name() string { return "clusters" }
+
+// Validate implements Placement.
+func (p Clusters) Validate(geom.Region) error {
+	if p.Clusters < 1 {
+		return fmt.Errorf("mobility: clusters placement needs >= 1 cluster, got %d", p.Clusters)
+	}
+	if p.Radius < 0 || math.IsNaN(p.Radius) {
+		return fmt.Errorf("mobility: clusters placement needs Radius >= 0, got %v", p.Radius)
+	}
+	return nil
+}
+
+// Fill implements Placement.
+func (p Clusters) Fill(rng *xrand.Rand, reg geom.Region, pts []geom.Point) {
+	centers := reg.UniformPoints(rng, p.Clusters)
+	for i := range pts {
+		c := centers[i%p.Clusters]
+		var cand geom.Point
+		for a := 0; a < placeAttempts; a++ {
+			cand = reg.UniformInBall(rng, c, p.Radius)
+			if reg.Contains(cand) {
+				break
+			}
+		}
+		pts[i] = reg.Clamp(cand)
+	}
+}
+
+// EdgeConcentrated pushes mass toward the region boundary: every active
+// coordinate is drawn from the symmetric power law that maps a uniform
+// variate u to l*(2u)^Power/2 on the lower half and mirrors it on the upper
+// half, so Power = 1 recovers the uniform placement and larger powers
+// concentrate nodes along the faces of [0,l]^d (a perimeter-surveillance
+// deployment). The resulting center void is the adversarial case for
+// connectivity: the MST must bridge it.
+type EdgeConcentrated struct {
+	Power float64 // concentration exponent, >= 1 (1 = uniform)
+}
+
+// Name implements Placement.
+func (EdgeConcentrated) Name() string { return "edge" }
+
+// Validate implements Placement.
+func (p EdgeConcentrated) Validate(geom.Region) error {
+	if !(p.Power >= 1) || math.IsInf(p.Power, 0) {
+		return fmt.Errorf("mobility: edge placement needs finite Power >= 1, got %v", p.Power)
+	}
+	return nil
+}
+
+// Fill implements Placement.
+func (p EdgeConcentrated) Fill(rng *xrand.Rand, reg geom.Region, pts []geom.Point) {
+	for i := range pts {
+		out := geom.Point{X: edgeFold(rng.Float64(), reg.L, p.Power)}
+		if reg.Dim >= 2 {
+			out.Y = edgeFold(rng.Float64(), reg.L, p.Power)
+		}
+		if reg.Dim >= 3 {
+			out.Z = edgeFold(rng.Float64(), reg.L, p.Power)
+		}
+		pts[i] = out
+	}
+}
+
+// edgeFold maps a uniform u in [0,1) to [0,l] with density concentrated at
+// both interval ends for power > 1 (identity for power = 1).
+func edgeFold(u, l, power float64) float64 {
+	if u < 0.5 {
+		return l * 0.5 * math.Pow(2*u, power)
+	}
+	return l * (1 - 0.5*math.Pow(2*(1-u), power))
+}

@@ -1,0 +1,167 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// allPlacements returns one representative configuration per placement type
+// for a region of side l.
+func allPlacements(l float64) []Placement {
+	return []Placement{
+		Uniform{},
+		GaussianHotspots{Hotspots: 3, Sigma: 0.1 * l},
+		Clusters{Clusters: 4, Radius: 0.1 * l},
+		Clusters{Clusters: 5, Radius: 0},
+		EdgeConcentrated{Power: 3},
+		EdgeConcentrated{Power: 1},
+	}
+}
+
+func TestPlacementsStayInRegion(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		reg := geom.MustRegion(50, dim)
+		for _, p := range allPlacements(reg.L) {
+			if err := p.Validate(reg); err != nil {
+				t.Fatalf("%s dim=%d: %v", p.Name(), dim, err)
+			}
+			pts := make([]geom.Point, 500)
+			p.Fill(xrand.New(5), reg, pts)
+			for i, pt := range pts {
+				if !reg.Contains(pt) {
+					t.Fatalf("%s dim=%d: point %d outside region: %v", p.Name(), dim, i, pt)
+				}
+			}
+		}
+	}
+}
+
+func TestPlacementDeterministicGivenSeed(t *testing.T) {
+	reg := geom.MustRegion(100, 2)
+	for _, p := range allPlacements(reg.L) {
+		a := make([]geom.Point, 64)
+		b := make([]geom.Point, 64)
+		p.Fill(xrand.New(77), reg, a)
+		p.Fill(xrand.New(77), reg, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: fills with equal seeds diverged at point %d", p.Name(), i)
+			}
+		}
+	}
+}
+
+// TestUniformPlacementMatchesNil pins the compatibility contract behind the
+// scenario engine's bit-identity guarantee: passing Uniform{} to a model
+// consumes exactly the same random draws as passing no placement at all.
+func TestUniformPlacementMatchesNil(t *testing.T) {
+	reg := geom.MustRegion(100, 2)
+	for _, m := range allModels(reg.L) {
+		a, err := m.NewState(xrand.New(9), reg, 25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.NewState(xrand.New(9), reg, 25, Uniform{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 50; step++ {
+			a.Step()
+			b.Step()
+		}
+		pa, pb := a.Positions(), b.Positions()
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("%s: Uniform{} diverged from nil placement at node %d", m.Name(), i)
+			}
+		}
+	}
+}
+
+func TestClustersAreClustered(t *testing.T) {
+	// With tiny cluster radii, the spread of the placed points around their
+	// cluster centers must be bounded by the radius.
+	reg := geom.MustRegion(1000, 2)
+	p := Clusters{Clusters: 3, Radius: 10}
+	pts := make([]geom.Point, 300)
+	p.Fill(xrand.New(3), reg, pts)
+	for g := 0; g < p.Clusters; g++ {
+		// All members of cluster g lie within 2*Radius of the member placed
+		// first (both are within Radius of the shared center).
+		first := pts[g]
+		for i := g; i < len(pts); i += p.Clusters {
+			if geom.Dist(first, pts[i]) > 2*p.Radius+1e-9 {
+				t.Fatalf("cluster %d: member %d at distance %v, want <= %v",
+					g, i, geom.Dist(first, pts[i]), 2*p.Radius)
+			}
+		}
+	}
+}
+
+func TestEdgeConcentratedPushesMassOutward(t *testing.T) {
+	reg := geom.MustRegion(1, 2)
+	pts := make([]geom.Point, 4000)
+	EdgeConcentrated{Power: 4}.Fill(xrand.New(11), reg, pts)
+	// With power 4, the expected per-coordinate distance to the nearer edge
+	// is 1/(2(power+1)) = 0.1; uniform would give 0.25.
+	sum := 0.0
+	for _, p := range pts {
+		sum += math.Min(p.X, 1-p.X)
+	}
+	mean := sum / float64(len(pts))
+	if mean > 0.15 {
+		t.Fatalf("edge placement mean distance-to-edge %v, want well below uniform's 0.25", mean)
+	}
+}
+
+func TestHotspotsConcentrate(t *testing.T) {
+	// With a tight sigma, most mass must lie near the 2 hotspot centers:
+	// the mean nearest-neighbor spread is far below the uniform baseline.
+	reg := geom.MustRegion(1000, 2)
+	pts := make([]geom.Point, 400)
+	GaussianHotspots{Hotspots: 2, Sigma: 5}.Fill(xrand.New(13), reg, pts)
+	// Every point is within a few sigmas of one of at most 2 centers, so the
+	// distance from point i to its nearest other point is tiny compared to
+	// the region.
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := geom.Dist(p, q); d < best {
+				best = d
+			}
+		}
+		if best > 100 {
+			t.Fatalf("point %d is isolated (nearest neighbor at %v) — hotspots not concentrated", i, best)
+		}
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	reg := geom.MustRegion(10, 2)
+	cases := []struct {
+		name string
+		p    Placement
+	}{
+		{"hotspots zero count", GaussianHotspots{Hotspots: 0, Sigma: 1}},
+		{"hotspots zero sigma", GaussianHotspots{Hotspots: 2, Sigma: 0}},
+		{"clusters zero count", Clusters{Clusters: 0, Radius: 1}},
+		{"clusters negative radius", Clusters{Clusters: 2, Radius: -1}},
+		{"edge power below one", EdgeConcentrated{Power: 0.5}},
+		{"edge NaN power", EdgeConcentrated{Power: math.NaN()}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(reg); err == nil {
+			t.Errorf("%s: Validate accepted bad config", c.name)
+		}
+		// NewState must surface the same error when the placement is used.
+		if _, err := (Stationary{}).NewState(xrand.New(1), reg, 5, c.p); err == nil {
+			t.Errorf("%s: NewState accepted bad placement", c.name)
+		}
+	}
+}

@@ -34,7 +34,7 @@ func MeasureQuantity(model Model, reg geom.Region, n, steps int, rng *xrand.Rand
 	if n <= 0 {
 		return Quantity{}, fmt.Errorf("mobility: node count must be positive, got %d", n)
 	}
-	state, err := model.NewState(rng, reg, n)
+	state, err := model.NewState(rng, reg, n, nil)
 	if err != nil {
 		return Quantity{}, err
 	}

@@ -1,0 +1,143 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// RPGM is the reference point group mobility model [Hong-Gerla-Pei-Chiang
+// '99]: nodes move in groups. Each group has a logical center that follows
+// the random waypoint model (destination uniform in the region, speed
+// uniform in [VMin, VMax], pause of PauseSteps at arrival), and every node
+// owns a fixed reference point — an offset within the ball of radius
+// GroupRadius around its group's center, drawn at start-up — that moves
+// rigidly with the center. At every step the node lands uniformly in the
+// ball of radius Jitter around its reference point (clipped to the region),
+// the model's "random motion vector". Node i belongs to group i mod Groups.
+//
+// The Placement passed to NewState seeds the *group centers*, not the
+// individual nodes: a clustered workload under RPGM is expressed by placing
+// few centers non-uniformly, while member positions always derive from
+// their group geometry.
+type RPGM struct {
+	Groups      int     // number of groups, >= 1
+	GroupRadius float64 // reference-point scatter around the center, >= 0
+	Jitter      float64 // per-step random motion around the reference point, >= 0
+	VMin, VMax  float64 // group-center speed range, distance units per step
+	PauseSteps  int     // group-center pause at destination, in steps
+}
+
+// Name implements Model.
+func (RPGM) Name() string { return "rpgm" }
+
+// Validate implements Model.
+func (m RPGM) Validate() error {
+	if m.Groups < 1 {
+		return fmt.Errorf("mobility: rpgm needs >= 1 group, got %d", m.Groups)
+	}
+	if m.GroupRadius < 0 || math.IsNaN(m.GroupRadius) {
+		return fmt.Errorf("mobility: rpgm needs GroupRadius >= 0, got %v", m.GroupRadius)
+	}
+	if m.Jitter < 0 || math.IsNaN(m.Jitter) {
+		return fmt.Errorf("mobility: rpgm needs Jitter >= 0, got %v", m.Jitter)
+	}
+	return (RandomWaypoint{VMin: m.VMin, VMax: m.VMax, PauseSteps: m.PauseSteps}).Validate()
+}
+
+// NewState implements Model.
+func (m RPGM) NewState(rng *xrand.Rand, reg geom.Region, n int, place Placement) (State, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	}
+	centers, err := initialPositions(rng, reg, m.Groups, place)
+	if err != nil {
+		return nil, err
+	}
+	s := &rpgmState{
+		cfg:     m,
+		rng:     rng,
+		reg:     reg,
+		pts:     make([]geom.Point, n),
+		centers: centers,
+		groups:  make([]rpgmGroup, m.Groups),
+		offsets: make([]geom.Point, n),
+	}
+	for g := range s.groups {
+		s.assignLeg(g)
+	}
+	for i := range s.offsets {
+		s.offsets[i] = reg.UniformInBall(rng, geom.Point{}, m.GroupRadius)
+	}
+	// The initial snapshot already includes the per-step jitter, so t = 0 is
+	// distributed like every later step.
+	s.scatter()
+	return s, nil
+}
+
+// rpgmGroup is the waypoint motion state of one group center.
+type rpgmGroup struct {
+	dest      geom.Point
+	speed     float64
+	pauseLeft int
+}
+
+type rpgmState struct {
+	cfg     RPGM
+	rng     *xrand.Rand
+	reg     geom.Region
+	pts     []geom.Point
+	centers []geom.Point
+	groups  []rpgmGroup
+	offsets []geom.Point // fixed reference-point offsets from the group center
+}
+
+// assignLeg draws a fresh destination and speed for group g.
+func (s *rpgmState) assignLeg(g int) {
+	s.groups[g].dest = s.reg.UniformPoint(s.rng)
+	if s.cfg.VMax == s.cfg.VMin {
+		s.groups[g].speed = s.cfg.VMax
+	} else {
+		s.groups[g].speed = s.rng.Range(s.cfg.VMin, s.cfg.VMax)
+	}
+}
+
+func (s *rpgmState) Positions() []geom.Point { return s.pts }
+
+func (s *rpgmState) Step() {
+	for g := range s.groups {
+		gr := &s.groups[g]
+		if gr.pauseLeft > 0 {
+			gr.pauseLeft--
+			if gr.pauseLeft == 0 {
+				s.assignLeg(g)
+			}
+			continue
+		}
+		next, reached := geom.StepToward(s.centers[g], gr.dest, gr.speed)
+		s.centers[g] = next
+		if reached {
+			if s.cfg.PauseSteps > 0 {
+				gr.pauseLeft = s.cfg.PauseSteps
+			} else {
+				s.assignLeg(g)
+			}
+		}
+	}
+	s.scatter()
+}
+
+// scatter recomputes every node position from its group geometry: reference
+// point (center + fixed offset) plus the per-step jitter draw, clipped to
+// the region.
+func (s *rpgmState) scatter() {
+	for i := range s.pts {
+		ref := s.centers[i%s.cfg.Groups].Add(s.offsets[i])
+		s.pts[i] = s.reg.Clamp(s.reg.UniformInBall(s.rng, ref, s.cfg.Jitter))
+	}
+}

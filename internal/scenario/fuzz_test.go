@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"io/fs"
+	"testing"
+
+	"adhocnet"
+)
+
+// FuzzScenarioDecode asserts the engine's robustness contract: arbitrary
+// spec bytes never panic the decode -> validate -> build pipeline, invalid
+// specs always surface an error, and anything Build accepts is internally
+// consistent (validated network/config, evaluable outputs). Build touches
+// no n-sized allocations, so hostile node counts are safe to accept here —
+// they fail at run time with a normal error, not in the parser.
+//
+// The checked-in corpus under testdata/fuzz seeds the interesting shapes
+// (every kind, overrides, unknown fields, truncations); the embedded
+// scenario library is added as seeds too so the real workloads are always
+// in the corpus.
+func FuzzScenarioDecode(f *testing.F) {
+	files, err := fs.Glob(adhocnet.Scenarios, "scenarios/*.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := fs.ReadFile(adhocnet.Scenarios, file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":1}`))
+	f.Add([]byte(`not json at all`))
+
+	registry := Default()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		sc, err := registry.Build(spec)
+		if err != nil {
+			return
+		}
+		// Whatever Build accepts must be runnable configuration-wise.
+		if err := sc.Network.Validate(); err != nil {
+			t.Fatalf("built scenario has invalid network: %v", err)
+		}
+		if err := sc.Config.Validate(); err != nil {
+			t.Fatalf("built scenario has invalid run config: %v", err)
+		}
+		if err := sc.Targets.Validate(); err != nil {
+			t.Fatalf("built scenario has invalid targets: %v", err)
+		}
+		if len(sc.Radii) == 0 &&
+			len(sc.Targets.TimeFractions) == 0 && len(sc.Targets.ComponentFractions) == 0 {
+			t.Fatal("built scenario evaluates nothing")
+		}
+		for _, r := range sc.Radii {
+			if !(r > 0) {
+				t.Fatalf("built scenario has non-positive radius %v", r)
+			}
+		}
+	})
+}

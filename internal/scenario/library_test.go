@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"fmt"
+	"io/fs"
+	"testing"
+
+	"adhocnet"
+	"adhocnet/internal/core"
+)
+
+// libraryScenarios builds every file of the embedded scenarios/ directory.
+func libraryScenarios(t *testing.T) map[string]*Scenario {
+	t.Helper()
+	files, err := fs.Glob(adhocnet.Scenarios, "scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 9 {
+		t.Fatalf("embedded scenario library has only %d files", len(files))
+	}
+	r := Default()
+	out := make(map[string]*Scenario, len(files))
+	for _, file := range files {
+		data, err := fs.ReadFile(adhocnet.Scenarios, file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := r.Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		out[file] = sc
+	}
+	return out
+}
+
+// TestScenarioLibraryValidAndRunnable is the CI gate on the checked-in
+// library: every file must decode, validate, build, and execute a
+// 1-iteration smoke run of each output it declares.
+func TestScenarioLibraryValidAndRunnable(t *testing.T) {
+	for file, sc := range libraryScenarios(t) {
+		if sc.Spec.Name == "" || sc.Spec.Description == "" {
+			t.Errorf("%s: library scenarios must carry a name and a description", file)
+		}
+		cfg := sc.Config
+		cfg.Iterations = 1
+		if cfg.Steps > 3 {
+			cfg.Steps = 3
+		}
+		if len(sc.Radii) > 0 {
+			if _, err := core.EvaluateFixedRanges(sc.Network, cfg, sc.Radii); err != nil {
+				t.Errorf("%s: fixed-range smoke run: %v", file, err)
+			}
+		}
+		if len(sc.Targets.TimeFractions) > 0 || len(sc.Targets.ComponentFractions) > 0 {
+			if _, err := core.EstimateRanges(sc.Network, cfg, sc.Targets); err != nil {
+				t.Errorf("%s: range-estimation smoke run: %v", file, err)
+			}
+		}
+	}
+}
+
+// TestScenarioRunsWorkerInvariant extends the core worker-invariance suite
+// to scenario-built runs: non-uniform placements and the new mobility
+// models must produce bit-identical results for every Workers value, since
+// trajectory generation (where all their randomness lives) is the
+// scheduler's sequential producer.
+func TestScenarioRunsWorkerInvariant(t *testing.T) {
+	for file, sc := range libraryScenarios(t) {
+		cfg := sc.Config
+		cfg.Iterations = 2
+		cfg.Steps = 6
+		if sc.Network.Nodes < 2 {
+			continue
+		}
+		radius := 0.3 * sc.Network.Region.L
+		targets := core.RangeTargets{TimeFractions: []float64{1, 0.5}}
+		var wantFixed, wantEst string
+		for _, workers := range []int{1, 3} {
+			cfg.Workers = workers
+			fixed, err := core.EvaluateFixedRange(sc.Network, cfg, radius)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", file, workers, err)
+			}
+			est, err := core.EstimateRanges(sc.Network, cfg, targets)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", file, workers, err)
+			}
+			// Sprintf comparison keeps NaN fields (no disconnected graphs)
+			// comparable; any bit difference in a float changes the text.
+			gotFixed := fmt.Sprintf("%+v", fixed)
+			gotEst := fmt.Sprintf("%+v", est)
+			if workers == 1 {
+				wantFixed, wantEst = gotFixed, gotEst
+				continue
+			}
+			if gotFixed != wantFixed {
+				t.Errorf("%s: fixed-range result depends on workers:\n1: %s\n%d: %s",
+					file, wantFixed, workers, gotFixed)
+			}
+			if gotEst != wantEst {
+				t.Errorf("%s: estimates depend on workers:\n1: %s\n%d: %s",
+					file, wantEst, workers, gotEst)
+			}
+		}
+	}
+}

@@ -75,12 +75,13 @@ func (t *Trace) Validate() error {
 }
 
 // Record runs the mobility model for the given number of snapshots (initial
-// placement first) and captures every position.
-func Record(model mobility.Model, reg geom.Region, n, steps int, rng *xrand.Rand) (*Trace, error) {
+// placement first, drawn from place — nil means uniform) and captures every
+// position.
+func Record(model mobility.Model, reg geom.Region, n, steps int, rng *xrand.Rand, place mobility.Placement) (*Trace, error) {
 	if steps <= 0 {
 		return nil, fmt.Errorf("trace: steps must be positive, got %d", steps)
 	}
-	state, err := model.NewState(rng, reg, n)
+	state, err := model.NewState(rng, reg, n, place)
 	if err != nil {
 		return nil, err
 	}
@@ -357,9 +358,10 @@ func (r Replay) Validate() error {
 }
 
 // NewState implements mobility.Model. The region must match the trace's
-// region and n its node count; the random source is unused (replay is
-// deterministic by construction).
-func (r Replay) NewState(_ *xrand.Rand, reg geom.Region, n int) (mobility.State, error) {
+// region and n its node count; the random source and placement are unused
+// (replay is deterministic by construction, and its positions are the
+// trace's).
+func (r Replay) NewState(_ *xrand.Rand, reg geom.Region, n int, _ mobility.Placement) (mobility.State, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}

@@ -15,7 +15,7 @@ func recordSample(t *testing.T, dim int) *Trace {
 	t.Helper()
 	reg := geom.MustRegion(100, dim)
 	var m mobility.Model = mobility.RandomWaypoint{VMin: 1, VMax: 5, PauseSteps: 2}
-	tr, err := Record(m, reg, 7, 25, xrand.New(42))
+	tr, err := Record(m, reg, 7, 25, xrand.New(42), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,10 +48,10 @@ func TestRecordShape(t *testing.T) {
 
 func TestRecordValidation(t *testing.T) {
 	reg := geom.MustRegion(10, 2)
-	if _, err := Record(mobility.Stationary{}, reg, 3, 0, xrand.New(1)); err == nil {
+	if _, err := Record(mobility.Stationary{}, reg, 3, 0, xrand.New(1), nil); err == nil {
 		t.Error("zero steps accepted")
 	}
-	if _, err := Record(mobility.Drunkard{M: -1}, reg, 3, 5, xrand.New(1)); err == nil {
+	if _, err := Record(mobility.Drunkard{M: -1}, reg, 3, 5, xrand.New(1), nil); err == nil {
 		t.Error("invalid model accepted")
 	}
 }
@@ -166,7 +166,7 @@ func TestValidateCatchesRaggedTrace(t *testing.T) {
 
 func TestReplayReproducesTrace(t *testing.T) {
 	tr := recordSample(t, 2)
-	st, err := Replay{Trace: tr}.NewState(nil, tr.Region, tr.Nodes())
+	st, err := Replay{Trace: tr}.NewState(nil, tr.Region, tr.Nodes(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestReplayReproducesTrace(t *testing.T) {
 
 func TestReplayLoop(t *testing.T) {
 	tr := recordSample(t, 2)
-	st, err := Replay{Trace: tr, Loop: true}.NewState(nil, tr.Region, tr.Nodes())
+	st, err := Replay{Trace: tr, Loop: true}.NewState(nil, tr.Region, tr.Nodes(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,14 +209,14 @@ func TestReplayLoop(t *testing.T) {
 
 func TestReplayValidation(t *testing.T) {
 	tr := recordSample(t, 2)
-	if _, err := (Replay{}).NewState(nil, tr.Region, 7); err == nil {
+	if _, err := (Replay{}).NewState(nil, tr.Region, 7, nil); err == nil {
 		t.Error("nil trace accepted")
 	}
-	if _, err := (Replay{Trace: tr}).NewState(nil, tr.Region, 3); err == nil {
+	if _, err := (Replay{Trace: tr}).NewState(nil, tr.Region, 3, nil); err == nil {
 		t.Error("wrong node count accepted")
 	}
 	other := geom.MustRegion(55, 2)
-	if _, err := (Replay{Trace: tr}).NewState(nil, other, 7); err == nil {
+	if _, err := (Replay{Trace: tr}).NewState(nil, other, 7, nil); err == nil {
 		t.Error("wrong region accepted")
 	}
 	if err := (Replay{}).Validate(); err == nil {
@@ -243,7 +243,7 @@ func TestBinaryDeterministicEncoding(t *testing.T) {
 
 func BenchmarkBinaryRoundTrip(b *testing.B) {
 	reg := geom.MustRegion(1000, 2)
-	tr, err := Record(mobility.RandomWaypoint{VMin: 1, VMax: 5}, reg, 64, 100, xrand.New(1))
+	tr, err := Record(mobility.RandomWaypoint{VMin: 1, VMax: 5}, reg, 64, 100, xrand.New(1), nil)
 	if err != nil {
 		b.Fatal(err)
 	}

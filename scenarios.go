@@ -1,0 +1,11 @@
+package adhocnet
+
+import "embed"
+
+// Scenarios embeds the checked-in scenario library so the scenario-sweep
+// experiment and the tests can enumerate every workload without depending
+// on the working directory. The files are also plain JSON on disk for
+// adhocsim -scenario; scenarios/README.md documents the schema.
+//
+//go:embed scenarios/*.json
+var Scenarios embed.FS
