@@ -7,6 +7,7 @@ package adhocnet_test
 // use cmd/repro for full-scale regeneration.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -95,7 +96,7 @@ func ablationNetwork() (core.Network, core.RunConfig) {
 func BenchmarkAblationFixedRangeProfile(b *testing.B) {
 	net, cfg := ablationNetwork()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.EvaluateFixedRange(net, cfg, 1200); err != nil {
+		if _, err := core.EvaluateFixedRange(context.Background(), net, cfg, 1200); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,7 +105,7 @@ func BenchmarkAblationFixedRangeProfile(b *testing.B) {
 func BenchmarkAblationFixedRangeDirect(b *testing.B) {
 	net, cfg := ablationNetwork()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DirectFixedRange(net, cfg, 1200); err != nil {
+		if _, err := core.DirectFixedRange(context.Background(), net, cfg, 1200); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -201,7 +202,7 @@ func benchNearestNeighbor(b *testing.B, n int) {
 func BenchmarkStationarySampleN128(b *testing.B) {
 	reg := geom.MustRegion(16384, 2)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.StationaryCriticalSample(reg, 128, 50, 1, 1); err != nil {
+		if _, err := core.StationaryCriticalSample(context.Background(), reg, 128, 50, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,33 +16,84 @@
 //
 //	adhocsim -scenario scenarios/hotspot-city.json
 //
-// In scenario mode the network flags are ignored; -iters, -steps, -seed and
-// -workers still override the file when given explicitly.
+// In scenario mode the network flags are ignored; -iters, -steps, -seed,
+// -workers and the lifecycle flags below still apply.
+//
+// # Run lifecycle
+//
+// SIGINT/SIGTERM cancel the run cooperatively, and -timeout bounds the wall
+// clock. With -checkpoint <base>, completed iterations are saved to
+// <base>.<phase> files (one per run phase: "fixed" for fixed-range
+// evaluation, "ranges" for range estimation) when the run ends for any
+// reason — completion, interrupt, timeout or error. A later invocation with
+// -resume <base> skips the iterations those files hold and produces output
+// bit-identical to an uninterrupted run; checkpoints carry a workload hash,
+// so resuming with changed parameters fails instead of mixing results.
+//
+// Exit codes: 0 success, 1 simulation or I/O error, 2 flag or usage error,
+// 3 interrupted or timed out (checkpoint written when -checkpoint is set).
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"adhocnet/internal/checkpoint"
 	"adhocnet/internal/core"
 	"adhocnet/internal/geom"
 	"adhocnet/internal/scenario"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "adhocsim:", err)
-		os.Exit(1)
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Exit codes (documented in the package comment and in -h output).
+const (
+	exitOK          = 0
+	exitError       = 1
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
+// errUsage marks flag/usage failures so cliMain maps them to exit code 2.
+var errUsage = errors.New("usage error")
+
+func cliMain(args []string, out, errOut io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, args, out, errOut)
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, flag.ErrHelp):
+		return exitUsage
+	case errors.Is(err, errUsage):
+		fmt.Fprintln(errOut, "adhocsim:", err)
+		return exitUsage
+	case errors.Is(err, core.ErrCanceled), errors.Is(err, core.ErrDeadlineExceeded):
+		fmt.Fprintln(errOut, "adhocsim:", err)
+		return exitInterrupted
+	default:
+		fmt.Fprintln(errOut, "adhocsim:", err)
+		return exitError
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	registry := scenario.Default()
 	fs := flag.NewFlagSet("adhocsim", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
 		scenarioPath = fs.String("scenario", "", "run a declarative scenario file instead of the flag-built network")
 		n            = fs.Int("n", 64, "number of nodes")
@@ -60,6 +111,11 @@ func run(args []string, out io.Writer) error {
 		verbose = fs.Bool("per-iter", false, "print per-iteration results")
 		curve   = fs.Bool("curve", false, "also print the range-vs-uptime curve (r_f for f = 0..1)")
 
+		// Lifecycle flags (exit codes: 0 ok, 1 error, 2 usage, 3 interrupted).
+		timeout    = fs.Duration("timeout", 0, "cancel the run after this wall-clock duration (0 = no limit)")
+		ckptPath   = fs.String("checkpoint", "", "write completed iterations to <base>.<phase> checkpoint files when the run ends")
+		resumePath = fs.String("resume", "", "resume from <base>.<phase> checkpoint files written by -checkpoint")
+
 		// Random waypoint / random direction / rpgm-leader parameters.
 		vmin        = fs.Float64("vmin", 0.1, "waypoint/direction/rpgm: minimum speed (units per step)")
 		vmax        = fs.Float64("vmax", -1, "waypoint/direction/rpgm: maximum speed (default 0.01*l)")
@@ -71,8 +127,17 @@ func run(args []string, out io.Writer) error {
 		m      = fs.Float64("m", -1, "drunkard: step radius (default 0.01*l)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	lc := &lifecycle{ctx: ctx, checkpoint: *ckptPath, resume: *resumePath, errOut: errOut}
 
 	if *scenarioPath != "" {
 		sc, err := registry.LoadFile(*scenarioPath)
@@ -86,7 +151,7 @@ func run(args []string, out io.Writer) error {
 		var ignored []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "per-iter":
+			case "scenario", "per-iter", "timeout", "checkpoint", "resume":
 			case "iters":
 				sc.Config.Iterations = *iters
 			case "steps":
@@ -100,17 +165,22 @@ func run(args []string, out io.Writer) error {
 			}
 		})
 		if len(ignored) > 0 {
-			return fmt.Errorf("flags %s have no effect with -scenario (the file defines the workload; only -iters, -steps, -seed, -workers and -per-iter apply)",
-				strings.Join(ignored, ", "))
+			return fmt.Errorf("%w: flags %s have no effect with -scenario (the file defines the workload; only -iters, -steps, -seed, -workers, -per-iter and the lifecycle flags apply)",
+				errUsage, strings.Join(ignored, ", "))
 		}
 		if err := sc.Config.Validate(); err != nil {
 			return err
 		}
-		return runScenario(sc, *verbose, out)
+		spec, err := json.Marshal(sc.Spec)
+		if err != nil {
+			return err
+		}
+		lc.workload = fmt.Sprintf("scenario|%s|steps=%d", spec, sc.Config.Steps)
+		return runScenario(lc, sc, *verbose, out)
 	}
 
 	if *r <= 0 {
-		return fmt.Errorf("flag -r is required and must be positive (got %v)", *r)
+		return fmt.Errorf("%w: flag -r is required and must be positive (got %v)", errUsage, *r)
 	}
 	reg, err := geom.NewRegion(*l, *dim)
 	if err != nil {
@@ -133,7 +203,19 @@ func run(args []string, out io.Writer) error {
 		net.Placement = place
 	}
 	cfg := core.RunConfig{Iterations: *iters, Steps: *steps, Seed: *seed, Workers: *workers}
-	res, err := core.EvaluateFixedRange(net, cfg, *r)
+	// Everything that affects results goes into the workload hash; Workers
+	// does not (the scheduler is worker-count invariant), so a run may be
+	// resumed at different parallelism.
+	lc.workload = fmt.Sprintf("flags|l=%g|d=%d|n=%d|model=%s|placement=%s|vmin=%g|vmax=%g|tpause=%d|pstationary=%g|ppause=%g|m=%g|steps=%d",
+		*l, *dim, *n, *model, *placement, *vmin, *vmax, *tpause, *pstationary, *ppause, *m, *steps)
+
+	var res core.FixedRangeResult
+	err = lc.phase("fixed", cfg, core.FixedRangeRowWidth(1), fmt.Sprintf("r=%g", *r),
+		func(ctx context.Context, cfg core.RunConfig) error {
+			var err error
+			res, err = core.EvaluateFixedRange(ctx, net, cfg, *r)
+			return err
+		})
 	if err != nil {
 		return err
 	}
@@ -143,7 +225,14 @@ func run(args []string, out io.Writer) error {
 
 	if *curve {
 		fractions := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
-		est, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: fractions})
+		targets := core.RangeTargets{TimeFractions: fractions}
+		var est core.RangeEstimates
+		err := lc.phase("ranges", cfg, targets.RowWidth(), fmt.Sprintf("fractions=%v", fractions),
+			func(ctx context.Context, cfg core.RunConfig) error {
+				var err error
+				est, err = core.EstimateRanges(ctx, net, cfg, targets)
+				return err
+			})
 		if err != nil {
 			return err
 		}
@@ -169,9 +258,70 @@ func explicitFlags(fs *flag.FlagSet) map[string]bool {
 	return set
 }
 
+// lifecycle carries the run-lifecycle wiring of one invocation: the
+// cancellation context plus the checkpoint/resume base paths. Each run phase
+// gets its own checkpoint file (<base>.<phase>) because a scenario run has
+// up to two phases with different row layouts.
+type lifecycle struct {
+	ctx        context.Context
+	checkpoint string // base path to write, "" = no checkpointing
+	resume     string // base path to read, "" = fresh run
+	workload   string // canonical workload description, hashed into the files
+	errOut     io.Writer
+}
+
+// phase executes one run phase under the lifecycle contract: it wires a
+// checkpoint sink into cfg when requested, restores a prior phase file when
+// resuming (rejecting workload mismatches), and writes the final checkpoint
+// when the phase ends for any reason — including interrupt and error — so a
+// later -resume can pick up from the completed iterations.
+func (lc *lifecycle) phase(name string, cfg core.RunConfig, rowWidth int, extra string, runPhase func(context.Context, core.RunConfig) error) error {
+	if lc.checkpoint == "" && lc.resume == "" {
+		return runPhase(lc.ctx, cfg)
+	}
+	meta := checkpoint.Meta{
+		Hash:       checkpoint.Hash(lc.workload, name, extra),
+		Seed:       cfg.Seed,
+		Iterations: cfg.Iterations,
+		RowWidth:   rowWidth,
+	}
+	file := checkpoint.New(meta)
+	if lc.resume != "" {
+		path := lc.resume + "." + name
+		loaded, err := checkpoint.Load(path)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// No file for this phase (e.g. interrupted before it started):
+			// run it from scratch.
+		case err != nil:
+			return fmt.Errorf("resume: %w", err)
+		default:
+			if err := loaded.Meta().Check(meta); err != nil {
+				return fmt.Errorf("resume %s: %w", path, err)
+			}
+			file = loaded
+			fmt.Fprintf(lc.errOut, "adhocsim: resuming %s phase from %s (%d/%d iterations done)\n",
+				name, path, file.Done(), cfg.Iterations)
+		}
+	}
+	cfg.Sink = file
+	runErr := runPhase(lc.ctx, cfg)
+	if lc.checkpoint != "" {
+		path := lc.checkpoint + "." + name
+		if err := file.Save(path); err != nil {
+			return errors.Join(runErr, fmt.Errorf("checkpoint: %w", err))
+		}
+		if runErr != nil {
+			fmt.Fprintf(lc.errOut, "adhocsim: checkpoint written to %s (%d/%d iterations done)\n",
+				path, file.Done(), cfg.Iterations)
+		}
+	}
+	return runErr
+}
+
 // runScenario executes a scenario end-to-end: every fixed radius of the
 // spec through the paper simulator, then the range-estimation targets.
-func runScenario(sc *scenario.Scenario, verbose bool, out io.Writer) error {
+func runScenario(lc *lifecycle, sc *scenario.Scenario, verbose bool, out io.Writer) error {
 	fmt.Fprintf(out, "scenario: %s\n", sc.Spec.Name)
 	if sc.Spec.Description != "" {
 		fmt.Fprintf(out, "  %s\n", sc.Spec.Description)
@@ -179,7 +329,13 @@ func runScenario(sc *scenario.Scenario, verbose bool, out io.Writer) error {
 	printHeader(out, sc.Network, sc.Config, fmt.Sprintf("placement=%s", sc.PlacementName()))
 
 	if len(sc.Radii) > 0 {
-		results, err := core.EvaluateFixedRanges(sc.Network, sc.Config, sc.Radii)
+		var results []core.FixedRangeResult
+		err := lc.phase("fixed", sc.Config, core.FixedRangeRowWidth(len(sc.Radii)), fmt.Sprintf("radii=%v", sc.Radii),
+			func(ctx context.Context, cfg core.RunConfig) error {
+				var err error
+				results, err = core.EvaluateFixedRanges(ctx, sc.Network, cfg, sc.Radii)
+				return err
+			})
 		if err != nil {
 			return err
 		}
@@ -194,7 +350,14 @@ func runScenario(sc *scenario.Scenario, verbose bool, out io.Writer) error {
 	}
 
 	if len(sc.Targets.TimeFractions) > 0 || len(sc.Targets.ComponentFractions) > 0 {
-		est, err := core.EstimateRanges(sc.Network, sc.Config, sc.Targets)
+		var est core.RangeEstimates
+		err := lc.phase("ranges", sc.Config, sc.Targets.RowWidth(),
+			fmt.Sprintf("targets=%v|%v", sc.Targets.TimeFractions, sc.Targets.ComponentFractions),
+			func(ctx context.Context, cfg core.RunConfig) error {
+				var err error
+				est, err = core.EstimateRanges(ctx, sc.Network, cfg, sc.Targets)
+				return err
+			})
 		if err != nil {
 			return err
 		}

@@ -1,18 +1,55 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"adhocnet/internal/core"
 )
+
+// resumeUntilDone drives an interruptible run to completion: it retries with
+// escalating -timeout values (so the first attempts are guaranteed to be cut
+// short while later ones are guaranteed to finish) and -checkpoint/-resume
+// pointed at the same base path. It returns the final stdout and how many
+// attempts were interrupted before completion.
+func resumeUntilDone(t *testing.T, refArgs []string, base string) (string, int) {
+	t.Helper()
+	var got strings.Builder
+	interrupted := 0
+	timeout := 10 * time.Millisecond
+	for attempt := 0; attempt < 20; attempt++ {
+		got.Reset()
+		args := append(append([]string{}, refArgs...),
+			"-checkpoint", base, "-resume", base,
+			"-timeout", fmt.Sprint(timeout))
+		err := run(context.Background(), args, &got, io.Discard)
+		switch {
+		case err == nil:
+			return got.String(), interrupted
+		case errors.Is(err, core.ErrDeadlineExceeded):
+			interrupted++
+			timeout *= 2
+		default:
+			t.Fatal(err)
+		}
+	}
+	t.Fatal("run never completed within 20 escalating-timeout attempts")
+	return "", 0
+}
 
 func TestRunProducesPaperOutputs(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-l", "512", "-n", "24", "-r", "150",
 		"-iters", "3", "-steps", "40", "-model", "waypoint", "-per-iter",
-	}, &out)
+	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,10 +72,10 @@ func TestRunProducesPaperOutputs(t *testing.T) {
 
 func TestRunCurve(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-l", "256", "-n", "12", "-r", "100",
 		"-iters", "2", "-steps", "20", "-curve",
-	}, &out)
+	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,10 +94,10 @@ func TestRunCurve(t *testing.T) {
 func TestRunAllModels(t *testing.T) {
 	for _, model := range []string{"stationary", "waypoint", "drunkard", "direction", "gaussmarkov", "rpgm"} {
 		var out strings.Builder
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-l", "256", "-n", "10", "-r", "100",
 			"-iters", "2", "-steps", "10", "-model", model,
-		}, &out)
+		}, &out, io.Discard)
 		if err != nil {
 			t.Errorf("model %s: %v", model, err)
 		}
@@ -70,10 +107,10 @@ func TestRunAllModels(t *testing.T) {
 func TestRunAllPlacements(t *testing.T) {
 	for _, placement := range []string{"uniform", "hotspots", "clusters", "edge"} {
 		var out strings.Builder
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-l", "256", "-n", "10", "-r", "100",
 			"-iters", "2", "-steps", "10", "-placement", placement,
-		}, &out)
+		}, &out, io.Discard)
 		if err != nil {
 			t.Errorf("placement %s: %v", placement, err)
 		}
@@ -93,7 +130,7 @@ func TestRunEveryCheckedInScenario(t *testing.T) {
 	}
 	for _, f := range files {
 		var out strings.Builder
-		if err := run([]string{"-scenario", f, "-iters", "1", "-steps", "2"}, &out); err != nil {
+		if err := run(context.Background(), []string{"-scenario", f, "-iters", "1", "-steps", "2"}, &out, io.Discard); err != nil {
 			t.Fatalf("%s: %v\n%s", f, err, out.String())
 		}
 		if !strings.Contains(out.String(), "scenario: ") {
@@ -104,10 +141,10 @@ func TestRunEveryCheckedInScenario(t *testing.T) {
 
 func TestRunScenarioOutputs(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-scenario", filepath.Join("..", "..", "scenarios", "mixed-stationary-fleet.json"),
 		"-iters", "2", "-steps", "10", "-per-iter",
-	}, &out)
+	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +183,7 @@ func TestRunScenarioErrors(t *testing.T) {
 	}
 	for name, args := range cases {
 		var out strings.Builder
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out, io.Discard); err == nil {
 			t.Errorf("%s: no error", name)
 		}
 	}
@@ -156,10 +193,10 @@ func TestRunStationaryFullRange(t *testing.T) {
 	// At the region diameter everything is connected; the average-largest
 	// line must show the no-disconnection marker.
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-l", "100", "-n", "8", "-r", "150", "-d", "2",
 		"-iters", "2", "-steps", "5", "-model", "stationary",
-	}, &out)
+	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +218,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for name, args := range cases {
 		var out strings.Builder
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out, io.Discard); err == nil {
 			t.Errorf("%s: no error", name)
 		}
 	}
@@ -189,14 +226,145 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunOneDimensional(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-l", "1000", "-n", "50", "-r", "120", "-d", "1",
 		"-iters", "2", "-steps", "5", "-model", "drunkard",
-	}, &out)
+	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "[0,1000]^1") {
 		t.Errorf("1-D header missing:\n%s", out.String())
+	}
+}
+
+// --- Run-lifecycle tests: exit codes, -timeout, -checkpoint/-resume ---
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"-l", "100", "-n", "8", "-r", "40", "-iters", "1", "-steps", "2"}, 0},
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"missing r", []string{"-l", "100"}, 2},
+		{"negative r", []string{"-r", "-5"}, 2},
+		{"shadowed flag", []string{"-scenario", filepath.Join("..", "..", "scenarios", "hotspot-city.json"), "-n", "9"}, 2},
+		{"unknown model", []string{"-r", "10", "-model", "teleport"}, 1},
+		{"missing scenario", []string{"-scenario", "nope.json"}, 1},
+	}
+	for _, tc := range cases {
+		var out, errOut strings.Builder
+		if got := cliMain(tc.args, &out, &errOut); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d (stderr: %s)", tc.name, got, tc.want, errOut.String())
+		}
+	}
+}
+
+func TestTimeoutExitsThreeAndWritesCheckpoint(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "ck")
+	var out, errOut strings.Builder
+	code := cliMain([]string{
+		"-l", "4096", "-n", "512", "-r", "400",
+		"-iters", "50", "-steps", "400", "-workers", "2",
+		"-timeout", "100ms", "-checkpoint", base,
+	}, &out, &errOut)
+	if code != 3 {
+		t.Fatalf("exit code %d, want 3 (stderr: %s)", code, errOut.String())
+	}
+	if _, err := os.Stat(base + ".fixed"); err != nil {
+		t.Fatalf("no checkpoint written on timeout: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "checkpoint written") {
+		t.Errorf("stderr does not mention the checkpoint:\n%s", errOut.String())
+	}
+}
+
+// TestInterruptResumeCLI interrupts a flag-mode run with a tiny -timeout,
+// resumes it repeatedly until it completes, and requires the final stdout to
+// be byte-identical to an uninterrupted run's. The workload is sized to take
+// well over the initial 10ms timeout, so at least the first attempt is
+// guaranteed to be interrupted and the resume path genuinely exercised.
+func TestInterruptResumeCLI(t *testing.T) {
+	refArgs := []string{
+		"-l", "1024", "-n", "128", "-r", "250",
+		"-iters", "8", "-steps", "200", "-workers", "2", "-per-iter",
+	}
+	var want strings.Builder
+	if err := run(context.Background(), refArgs, &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	got, interrupted := resumeUntilDone(t, refArgs, filepath.Join(t.TempDir(), "ck"))
+	if interrupted == 0 {
+		t.Error("no attempt was interrupted; the resume path was not exercised")
+	}
+	if got != want.String() {
+		t.Errorf("resumed stdout differs from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s",
+			got, want.String())
+	}
+}
+
+// TestInterruptResumeScenarioCLI is the same contract for scenario mode,
+// which has two checkpoint phases (fixed + ranges).
+func TestInterruptResumeScenarioCLI(t *testing.T) {
+	scen := filepath.Join("..", "..", "scenarios", "mixed-stationary-fleet.json")
+	refArgs := []string{"-scenario", scen, "-iters", "8", "-steps", "150", "-workers", "2"}
+	var want strings.Builder
+	if err := run(context.Background(), refArgs, &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	got, interrupted := resumeUntilDone(t, refArgs, filepath.Join(t.TempDir(), "ck"))
+	if interrupted == 0 {
+		t.Error("no attempt was interrupted; the resume path was not exercised")
+	}
+	if got != want.String() {
+		t.Errorf("resumed scenario stdout differs from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s",
+			got, want.String())
+	}
+}
+
+func TestResumeRejectsChangedWorkload(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "ck")
+	args := []string{"-l", "256", "-n", "16", "-r", "100", "-iters", "3", "-steps", "5", "-checkpoint", base}
+	var out strings.Builder
+	if err := run(context.Background(), args, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for name, changed := range map[string][]string{
+		"different r":     {"-l", "256", "-n", "16", "-r", "120", "-iters", "3", "-steps", "5", "-resume", base},
+		"different steps": {"-l", "256", "-n", "16", "-r", "100", "-iters", "3", "-steps", "6", "-resume", base},
+		"different seed":  {"-l", "256", "-n", "16", "-r", "100", "-iters", "3", "-steps", "5", "-seed", "9", "-resume", base},
+		"different iters": {"-l", "256", "-n", "16", "-r", "100", "-iters", "4", "-steps", "5", "-resume", base},
+	} {
+		var out, errOut strings.Builder
+		if code := cliMain(changed, &out, &errOut); code != 1 {
+			t.Errorf("%s: exit code %d, want 1 (resume must reject a changed workload)", name, code)
+		} else if !strings.Contains(errOut.String(), "does not match") {
+			t.Errorf("%s: stderr lacks a mismatch explanation:\n%s", name, errOut.String())
+		}
+	}
+	// Workers may change freely: results do not depend on parallelism.
+	ok := []string{"-l", "256", "-n", "16", "-r", "100", "-iters", "3", "-steps", "5", "-workers", "3", "-resume", base}
+	var errOut strings.Builder
+	out.Reset()
+	if code := cliMain(ok, &out, &errOut); code != 0 {
+		t.Errorf("resume with different -workers failed: %s", errOut.String())
+	}
+}
+
+func TestResumeWithoutFileRunsFresh(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-l", "256", "-n", "16", "-r", "100", "-iters", "2", "-steps", "3",
+		"-resume", filepath.Join(t.TempDir(), "never-written"),
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("missing checkpoint files must not fail a -resume run: %v", err)
+	}
+	if !strings.Contains(out.String(), "connected graphs:") {
+		t.Errorf("fresh -resume run produced no results:\n%s", out.String())
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -38,7 +39,7 @@ func main() {
 
 	// Estimate the dependability-scenario ranges of the paper: always
 	// connected (safety-critical), 90% (tolerant), 10% (data mule).
-	est, err := core.EstimateRanges(net, cfg, core.RangeTargets{
+	est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{
 		TimeFractions: []float64{1, 0.9, 0.1},
 	})
 	if err != nil {
@@ -67,7 +68,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := core.EvaluateFixedRange(net, cfg, e.Mean)
+		res, err := core.EvaluateFixedRange(context.Background(), net, cfg, e.Mean)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.EvaluateFixedRange(net, cfg, e90.Mean)
+	res, err := core.EvaluateFixedRange(context.Background(), net, cfg, e90.Mean)
 	if err != nil {
 		log.Fatal(err)
 	}

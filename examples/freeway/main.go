@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -58,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	criticals, err := core.StationaryCriticalSample(region, cars, 4000, 11, 0)
+	criticals, err := core.StationaryCriticalSample(context.Background(), region, cars, 4000, 11, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

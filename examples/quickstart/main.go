@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 		profile.LargestAt(0.8*profile.Critical()), nodes)
 
 	// --- Stationary, statistically: r_stationary over many placements. ---
-	rStationary, err := core.RStationary(region, nodes, 1000, 1, 0, core.DefaultStationaryQuantile)
+	rStationary, err := core.RStationary(context.Background(), region, nodes, 1000, 1, 0, core.DefaultStationaryQuantile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 		Model:  mobility.PaperWaypoint(side), // v_max = 0.01*l, t_pause = 2000
 	}
 	cfg := core.RunConfig{Iterations: 10, Steps: 2000, Seed: 7}
-	est, err := core.EstimateRanges(net, cfg, core.PaperTargets())
+	est, err := core.EstimateRanges(context.Background(), net, cfg, core.PaperTargets())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	fmt.Println("sensors needed for initial connectivity (fresh drop):")
 	nNeeded := 0
 	for _, n := range []int{40, 80, 120, 160, 240, 320, 400, 480} {
-		criticals, err := core.StationaryCriticalSample(region, n, 600, uint64(n), 0)
+		criticals, err := core.StationaryCriticalSample(context.Background(), region, n, 600, uint64(n), 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func main() {
 		if componentFrac >= 1 {
 			targets = core.RangeTargets{TimeFractions: []float64{1}}
 		}
-		est, err := core.EstimateRanges(net, cfg, targets)
+		est, err := core.EstimateRanges(context.Background(), net, cfg, targets)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func main() {
 	// The paper's Figure 7 threshold: with about half the nodes stationary,
 	// the network behaves as if stationary.
 	fmt.Printf("\nmixed mobile/stuck fleet (n = %d, waypoint collectors):\n", nNeeded)
-	rStationary, err := core.RStationary(region, nNeeded, 600, 5, 0, core.DefaultStationaryQuantile)
+	rStationary, err := core.RStationary(context.Background(), region, nNeeded, 600, 5, 0, core.DefaultStationaryQuantile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func main() {
 		model.PStationary = pStat
 		net := core.Network{Nodes: nNeeded, Region: region, Model: model}
 		cfg := core.RunConfig{Iterations: 8, Steps: 1500, Seed: 21}
-		est, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
+		est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -74,7 +75,7 @@ func main() {
 	model := mobility.PaperWaypoint(side)
 	net := core.Network{Nodes: nodes, Region: region, Model: model}
 	cfg := core.RunConfig{Iterations: 6, Steps: 1000, Seed: 17}
-	est, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
+	est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 
 	for _, dim := range []int{2, 3} {
 		region := geom.MustRegion(side, dim)
-		rs, err := core.RStationary(region, nodes, 800, 1, 0, core.DefaultStationaryQuantile)
+		rs, err := core.RStationary(context.Background(), region, nodes, 800, 1, 0, core.DefaultStationaryQuantile)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +41,7 @@ func main() {
 		drift := mobility.Drunkard{PPause: 0.2, M: 0.01 * side}
 		net := core.Network{Nodes: nodes, Region: region, Model: drift}
 		cfg := core.RunConfig{Iterations: 8, Steps: 1500, Seed: 13}
-		est, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: []float64{1, 0.9}})
+		est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1, 0.9}})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@ package adhocnet_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestTraceReplayMatchesLiveSimulation(t *testing.T) {
 	// Live evaluation: one iteration, fixed seed.
 	liveNet := core.Network{Nodes: n, Region: reg, Model: model}
 	cfg := core.RunConfig{Iterations: 1, Steps: steps, Seed: 77}
-	live, err := core.EvaluateFixedRange(liveNet, cfg, 140)
+	live, err := core.EvaluateFixedRange(context.Background(), liveNet, cfg, 140)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestTraceReplayMatchesLiveSimulation(t *testing.T) {
 	}
 
 	replayNet := core.Network{Nodes: n, Region: reg, Model: trace.Replay{Trace: tr2}}
-	replayed, err := core.EvaluateFixedRange(replayNet, cfg, 140)
+	replayed, err := core.EvaluateFixedRange(context.Background(), replayNet, cfg, 140)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestTraceReplayMatchesLiveSimulation(t *testing.T) {
 func TestOneDimTheoryMatchesSimulatorEndToEnd(t *testing.T) {
 	reg := geom.MustRegion(1000, 1)
 	const n, samples = 48, 4000
-	criticals, err := core.StationaryCriticalSample(reg, n, samples, 5, 0)
+	criticals, err := core.StationaryCriticalSample(context.Background(), reg, n, samples, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestOneDimTheoryMatchesSimulatorEndToEnd(t *testing.T) {
 func TestTwoDimTheoryMatchesSimulatorEndToEnd(t *testing.T) {
 	reg := geom.MustRegion(1024, 2)
 	const n = 32
-	criticals, err := core.StationaryCriticalSample(reg, n, 3000, 8, 0)
+	criticals, err := core.StationaryCriticalSample(context.Background(), reg, n, 3000, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,12 +169,12 @@ func TestSeedIsolationAcrossSubsystems(t *testing.T) {
 	reg := geom.MustRegion(256, 2)
 	net := core.Network{Nodes: 12, Region: reg, Model: mobility.PaperWaypoint(reg.L)}
 	cfg := core.RunConfig{Iterations: 4, Steps: 30, Seed: 123}
-	a, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
+	a, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Seed = 124
-	b, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
+	b, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bidim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -177,7 +178,7 @@ func TestTheoryTracksSimulatedRStationary(t *testing.T) {
 	// but not the only one, so the simulated value sits slightly above).
 	reg := geom.MustRegion(4096, 2)
 	const n = 64
-	sim, err := core.RStationary(reg, n, 1500, 3, 0, 0.99)
+	sim, err := core.RStationary(context.Background(), reg, n, 1500, 3, 0, 0.99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestPoissonApproxTracksEmpiricalCurve(t *testing.T) {
 	// radius should return roughly those quantiles.
 	reg := geom.MustRegion(2000, 2)
 	const n = 64
-	criticals, err := core.StationaryCriticalSample(reg, n, 2500, 9, 0)
+	criticals, err := core.StationaryCriticalSample(context.Background(), reg, n, 2500, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

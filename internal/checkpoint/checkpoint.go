@@ -1,0 +1,312 @@
+// Package checkpoint persists the progress of a Monte-Carlo run at
+// outer-iteration granularity, so interrupted runs resume instead of
+// restarting.
+//
+// The design leans entirely on the simulator's determinism: every
+// iteration's random stream is derived from the master seed, so the complete
+// state of a partially-finished run is just (workload hash, seed, total
+// iteration count, the reduced per-iteration rows computed so far). Resuming
+// replays nothing — the scheduler skips the completed iterations, restores
+// their rows, and simulates only the rest — and the spliced result is
+// bit-identical to an uninterrupted run, which the chaos tests in
+// internal/core assert literally.
+//
+// A row is a flat []float64 whose layout is owned by the producing entry
+// point (core.EstimateRanges, core.EvaluateFixedRanges, ...). Rows travel as
+// raw IEEE-754 bit patterns, so NaN sentinels (the simulator's "no
+// disconnected snapshots" marker) and every last ulp survive the round trip.
+//
+// On disk a checkpoint is a single self-validating binary file:
+//
+//	offset size
+//	0      8   magic "ADHCKP1\n"
+//	8      32  workload hash (sha256 of the canonical run description)
+//	40     8   master seed, little-endian uint64
+//	48     4   total iterations, little-endian uint32
+//	52     4   row width (float64s per iteration), little-endian uint32
+//	56     4   completed-row count, little-endian uint32
+//	60     ... count records: iteration uint32, then width float64 bit
+//	           patterns, all little-endian, sorted by iteration
+//	end    4   CRC-32 (IEEE) of all preceding bytes
+//
+// Save writes atomically (temp file in the same directory, fsync, rename),
+// so a crash mid-save leaves the previous checkpoint intact; Decode rejects
+// truncated, padded, reordered or bit-flipped files with a descriptive
+// error, never a panic (FuzzCheckpointDecode pins this down).
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// magic identifies checkpoint files and versions the format; bump the digit
+// when the layout changes so stale files fail loudly.
+const magic = "ADHCKP1\n"
+
+const (
+	headerSize  = len(magic) + sha256.Size + 8 + 4 + 4 + 4
+	trailerSize = 4 // crc32
+)
+
+// Meta identifies the run a checkpoint belongs to. Two runs may share rows
+// only when every field matches: the hash pins the workload (network,
+// mobility, radii/targets, steps — everything that shapes a row), the seed
+// pins the random streams, Iterations the row index space, and RowWidth the
+// row layout.
+type Meta struct {
+	Hash       [sha256.Size]byte
+	Seed       uint64
+	Iterations int
+	RowWidth   int
+}
+
+// Hash derives a workload hash from the given description parts. Parts are
+// length-prefixed before hashing, so no two distinct part lists collide by
+// concatenation.
+func Hash(parts ...string) [sha256.Size]byte {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// validate checks a Meta for use as a file header.
+func (m Meta) validate() error {
+	if m.Iterations <= 0 || m.Iterations > math.MaxUint32 {
+		return fmt.Errorf("checkpoint: iteration count %d outside [1, 2^32)", m.Iterations)
+	}
+	if m.RowWidth <= 0 || m.RowWidth > math.MaxUint32 {
+		return fmt.Errorf("checkpoint: row width %d outside [1, 2^32)", m.RowWidth)
+	}
+	return nil
+}
+
+// Check compares the checkpoint's identity against the run about to resume
+// and reports the first mismatch descriptively — a resumed run must never
+// silently splice rows from a different workload.
+func (m Meta) Check(want Meta) error {
+	if m.Hash != want.Hash {
+		return fmt.Errorf("checkpoint: workload hash %x does not match this run's %x (different scenario, radii/targets, steps or flags)",
+			m.Hash[:8], want.Hash[:8])
+	}
+	if m.Seed != want.Seed {
+		return fmt.Errorf("checkpoint: seed %d does not match this run's %d", m.Seed, want.Seed)
+	}
+	if m.Iterations != want.Iterations {
+		return fmt.Errorf("checkpoint: iteration count %d does not match this run's %d", m.Iterations, want.Iterations)
+	}
+	if m.RowWidth != want.RowWidth {
+		return fmt.Errorf("checkpoint: row width %d does not match this run's %d", m.RowWidth, want.RowWidth)
+	}
+	return nil
+}
+
+// File is an in-memory checkpoint: run identity plus the completed rows.
+// Lookup and Commit are safe for concurrent use (the scheduler's outer
+// workers commit from multiple goroutines), so *File satisfies
+// core.IterationSink directly.
+type File struct {
+	meta Meta
+
+	mu   sync.Mutex
+	rows map[int][]float64
+}
+
+// New returns an empty checkpoint for the identified run. It panics on a
+// meta that cannot be encoded (non-positive iteration count or row width):
+// those are programming errors of the caller, not runtime conditions.
+func New(meta Meta) *File {
+	if err := meta.validate(); err != nil {
+		panic(err)
+	}
+	return &File{meta: meta, rows: make(map[int][]float64)}
+}
+
+// Meta returns the run identity the checkpoint was created or loaded with.
+func (f *File) Meta() Meta { return f.meta }
+
+// Done reports how many iterations have completed rows.
+func (f *File) Done() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.rows)
+}
+
+// Lookup returns the committed row of the iteration, if any. The returned
+// slice is owned by the checkpoint; callers must not modify it.
+func (f *File) Lookup(iter int) ([]float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	row, ok := f.rows[iter]
+	return row, ok
+}
+
+// Commit records the iteration's completed row (copying it). It panics on an
+// out-of-range iteration or a row of the wrong width — both are programming
+// errors in the caller's row codec, and absorbing them would corrupt the
+// checkpoint silently.
+func (f *File) Commit(iter int, row []float64) {
+	if iter < 0 || iter >= f.meta.Iterations {
+		panic(fmt.Sprintf("checkpoint: commit of iteration %d outside [0, %d)", iter, f.meta.Iterations))
+	}
+	if len(row) != f.meta.RowWidth {
+		panic(fmt.Sprintf("checkpoint: commit of %d-value row, want width %d", len(row), f.meta.RowWidth))
+	}
+	cp := make([]float64, len(row))
+	copy(cp, row)
+	f.mu.Lock()
+	f.rows[iter] = cp
+	f.mu.Unlock()
+}
+
+// Encode serializes the checkpoint to its canonical byte form (rows sorted
+// by iteration, CRC trailer appended). Encoding the same logical state
+// always yields the same bytes.
+func (f *File) Encode() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	iters := make([]int, 0, len(f.rows))
+	for it := range f.rows {
+		iters = append(iters, it)
+	}
+	sort.Ints(iters)
+
+	recSize := 4 + 8*f.meta.RowWidth
+	buf := make([]byte, 0, headerSize+len(iters)*recSize+trailerSize)
+	buf = append(buf, magic...)
+	buf = append(buf, f.meta.Hash[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, f.meta.Seed)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.meta.Iterations))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.meta.RowWidth))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(iters)))
+	for _, it := range iters {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(it))
+		for _, v := range f.rows[it] {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Decode parses a checkpoint from its byte form. Every malformation —
+// truncation, padding, a flipped bit anywhere, duplicate or out-of-range
+// rows — yields a descriptive error; Decode never panics on hostile input.
+func Decode(data []byte) (*File, error) {
+	if len(data) < headerSize+trailerSize {
+		return nil, fmt.Errorf("checkpoint: file of %d bytes is shorter than the %d-byte minimum (truncated?)",
+			len(data), headerSize+trailerSize)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q (not a checkpoint file, or an incompatible format version)",
+			data[:len(magic)])
+	}
+	body, tail := data[:len(data)-trailerSize], data[len(data)-trailerSize:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("checkpoint: CRC mismatch (stored %08x, computed %08x): file is corrupted", want, got)
+	}
+
+	off := len(magic)
+	var meta Meta
+	copy(meta.Hash[:], data[off:off+sha256.Size])
+	off += sha256.Size
+	meta.Seed = binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	meta.Iterations = int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	meta.RowWidth = int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	count := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	if count > meta.Iterations {
+		return nil, fmt.Errorf("checkpoint: %d completed rows exceed the %d total iterations", count, meta.Iterations)
+	}
+	// Exact-size check before any row allocation: a hostile header cannot
+	// make Decode allocate more than the input's own size.
+	recSize := 4 + 8*meta.RowWidth
+	if want := headerSize + count*recSize + trailerSize; len(data) != want {
+		return nil, fmt.Errorf("checkpoint: file is %d bytes, want %d for %d rows of width %d (truncated or padded)",
+			len(data), want, count, meta.RowWidth)
+	}
+
+	f := &File{meta: meta, rows: make(map[int][]float64, count)}
+	prev := -1
+	for rec := 0; rec < count; rec++ {
+		iter := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if iter >= meta.Iterations {
+			return nil, fmt.Errorf("checkpoint: row %d is for iteration %d, outside [0, %d)", rec, iter, meta.Iterations)
+		}
+		if iter <= prev {
+			return nil, fmt.Errorf("checkpoint: row %d (iteration %d) out of order after iteration %d (duplicate or reordered)",
+				rec, iter, prev)
+		}
+		prev = iter
+		row := make([]float64, meta.RowWidth)
+		for i := range row {
+			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		f.rows[iter] = row
+	}
+	return f, nil
+}
+
+// Save writes the checkpoint to path atomically: the bytes go to a temp file
+// in the same directory (same filesystem, so the rename is atomic), are
+// fsynced, and the temp file is renamed over path. A crash at any point
+// leaves either the previous file or the new one, never a torn mix.
+func (f *File) Save(path string) error {
+	data := f.Encode()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: renaming into place: %w", err)
+	}
+	return nil
+}
+
+// Load reads and decodes the checkpoint at path.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
+	}
+	f, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,241 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testMeta returns a small, valid run identity.
+func testMeta() Meta {
+	return Meta{
+		Hash:       Hash("test-workload", "phase"),
+		Seed:       42,
+		Iterations: 10,
+		RowWidth:   3,
+	}
+}
+
+// fill commits a few rows with awkward values: NaN sentinels, signed zero,
+// infinities and a subnormal, all of which must round-trip bit-exactly.
+func fill(f *File) {
+	f.Commit(0, []float64{1.5, math.NaN(), -0.0})
+	f.Commit(3, []float64{math.Inf(1), math.Inf(-1), 5e-324})
+	f.Commit(9, []float64{0.1 + 0.2, -1e300, 7})
+}
+
+// sameRows compares two checkpoints row-by-row at the bit level.
+func sameRows(t *testing.T, a, b *File) {
+	t.Helper()
+	if a.Meta() != b.Meta() {
+		t.Fatalf("meta mismatch: %+v vs %+v", a.Meta(), b.Meta())
+	}
+	if a.Done() != b.Done() {
+		t.Fatalf("row count mismatch: %d vs %d", a.Done(), b.Done())
+	}
+	for iter := 0; iter < a.Meta().Iterations; iter++ {
+		ra, oka := a.Lookup(iter)
+		rb, okb := b.Lookup(iter)
+		if oka != okb {
+			t.Fatalf("iteration %d: presence mismatch (%v vs %v)", iter, oka, okb)
+		}
+		if !oka {
+			continue
+		}
+		for i := range ra {
+			if math.Float64bits(ra[i]) != math.Float64bits(rb[i]) {
+				t.Fatalf("iteration %d value %d: %x vs %x", iter, i,
+					math.Float64bits(ra[i]), math.Float64bits(rb[i]))
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := New(testMeta())
+	fill(f)
+	g, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, f, g)
+}
+
+func TestEncodeIsCanonical(t *testing.T) {
+	// Same logical state committed in different orders encodes identically.
+	a, b := New(testMeta()), New(testMeta())
+	fill(a)
+	b.Commit(9, []float64{0.1 + 0.2, -1e300, 7})
+	b.Commit(0, []float64{1.5, math.NaN(), -0.0})
+	b.Commit(3, []float64{math.Inf(1), math.Inf(-1), 5e-324})
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("encodings of the same state differ")
+	}
+}
+
+func TestCommitCopiesRow(t *testing.T) {
+	f := New(testMeta())
+	row := []float64{1, 2, 3}
+	f.Commit(0, row)
+	row[0] = 99
+	got, _ := f.Lookup(0)
+	if got[0] != 1 {
+		t.Fatal("Commit aliased the caller's slice")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	f := New(testMeta())
+	fill(f)
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, f, g)
+
+	// Overwriting is atomic: the rename leaves no temp residue behind.
+	f.Commit(5, []float64{1, 2, 3})
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the checkpoint file, found %d entries", len(entries))
+	}
+	g, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Done() != 4 {
+		t.Fatalf("reloaded checkpoint has %d rows, want 4", g.Done())
+	}
+}
+
+func TestMetaCheckMismatches(t *testing.T) {
+	base := testMeta()
+	cases := map[string]struct {
+		mutate func(*Meta)
+		want   string
+	}{
+		"hash":       {func(m *Meta) { m.Hash = Hash("other") }, "workload hash"},
+		"seed":       {func(m *Meta) { m.Seed++ }, "seed"},
+		"iterations": {func(m *Meta) { m.Iterations++ }, "iteration count"},
+		"width":      {func(m *Meta) { m.RowWidth++ }, "row width"},
+	}
+	for name, tc := range cases {
+		got := base
+		tc.mutate(&got)
+		err := got.Check(base)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", name, err, tc.want)
+		}
+	}
+	if err := base.Check(base); err != nil {
+		t.Errorf("identical meta rejected: %v", err)
+	}
+}
+
+func TestCommitPanics(t *testing.T) {
+	f := New(testMeta())
+	for name, commit := range map[string]func(){
+		"negative iteration": func() { f.Commit(-1, []float64{1, 2, 3}) },
+		"iteration too big":  func() { f.Commit(10, []float64{1, 2, 3}) },
+		"row too narrow":     func() { f.Commit(0, []float64{1}) },
+		"row too wide":       func() { f.Commit(0, []float64{1, 2, 3, 4}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			commit()
+		}()
+	}
+}
+
+func TestNewPanicsOnInvalidMeta(t *testing.T) {
+	for name, meta := range map[string]Meta{
+		"zero iterations": {Iterations: 0, RowWidth: 1},
+		"zero width":      {Iterations: 1, RowWidth: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			New(meta)
+		}()
+	}
+}
+
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	f := New(testMeta())
+	fill(f)
+	data := f.Encode()
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", n, len(data))
+		}
+	}
+}
+
+func TestDecodeRejectsEveryBitFlip(t *testing.T) {
+	f := New(testMeta())
+	f.Commit(2, []float64{4, 5, 6})
+	data := f.Encode()
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			corrupt := append([]byte(nil), data...)
+			corrupt[off] ^= 1 << bit
+			if _, err := Decode(corrupt); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded without error", off, bit)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsPadding(t *testing.T) {
+	f := New(testMeta())
+	fill(f)
+	data := append(f.Encode(), 0)
+	if _, err := Decode(data); err == nil {
+		t.Fatal("padded file decoded without error")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if err == nil {
+		t.Fatal("missing file loaded without error")
+	}
+	// The CLI's resume path distinguishes "no checkpoint yet" from real
+	// corruption via errors.Is, so the wrap chain must preserve it.
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("error %v does not preserve fs.ErrNotExist", err)
+	}
+}
+
+func TestHashIsLengthPrefixed(t *testing.T) {
+	// "ab" + "c" and "a" + "bc" concatenate identically; the length prefix
+	// must still separate them.
+	if Hash("ab", "c") == Hash("a", "bc") {
+		t.Fatal("hash collides across part boundaries")
+	}
+	if Hash("x") != Hash("x") {
+		t.Fatal("hash is not deterministic")
+	}
+}

@@ -1,0 +1,51 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzCheckpointDecode pins down Decode's robustness contract: arbitrary
+// bytes — truncated, bit-flipped, hostile headers — must yield a descriptive
+// error or a checkpoint that re-encodes canonically, never a panic or an
+// oversized allocation. The seeds cover a valid file, every interesting
+// malformation, and the empty input; the checked-in corpus under
+// testdata/fuzz/FuzzCheckpointDecode keeps past findings regressing.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := New(Meta{Hash: Hash("fuzz"), Seed: 7, Iterations: 5, RowWidth: 2})
+	valid.Commit(0, []float64{1, math.NaN()})
+	valid.Commit(4, []float64{math.Inf(1), -0.0})
+	enc := valid.Encode()
+
+	f.Add([]byte{})
+	f.Add(enc)
+	f.Add(enc[:len(enc)-1])                         // truncated trailer
+	f.Add(enc[:headerSize])                         // header only, no trailer
+	f.Add(append([]byte(nil), enc[:len(magic)]...)) // bare magic
+	flipped := append([]byte(nil), enc...)
+	flipped[headerSize] ^= 0x40 // corrupt the first record
+	f.Add(flipped)
+	huge := append([]byte(nil), enc...)
+	huge[len(magic)+32+8] = 0xff // absurd iteration count; CRC now stale too
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("error without a message")
+			}
+			return
+		}
+		// A successful decode must re-encode to the same canonical bytes and
+		// decode again to the same state (Encode is Decode's inverse).
+		re := ck.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encoding changed the bytes: %d in, %d out", len(data), len(re))
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+	})
+}

@@ -75,6 +75,13 @@ type RunConfig struct {
 	// snapshots within each iteration (see Levels). Results are
 	// deterministic regardless of Workers.
 	Workers int
+	// Sink, when non-nil, enables checkpoint/resume at outer-iteration
+	// granularity: iterations the sink already holds are restored instead
+	// of simulated, and every newly completed iteration is committed to it
+	// (see IterationSink and internal/checkpoint). A resumed run is
+	// bit-identical to an uninterrupted one. Sink never affects results,
+	// only which iterations are recomputed.
+	Sink IterationSink
 }
 
 // Validate checks the run configuration.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -56,11 +57,11 @@ func TestEstimateRangesDeterministicAcrossWorkers(t *testing.T) {
 	base := RunConfig{Iterations: 6, Steps: 40, Seed: 9, Workers: 1}
 	par := base
 	par.Workers = 4
-	a, err := EstimateRanges(net, base, targets)
+	a, err := EstimateRanges(context.Background(), net, base, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EstimateRanges(net, par, targets)
+	b, err := EstimateRanges(context.Background(), net, par, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestEstimateRangesOrdering(t *testing.T) {
 	// r_l90 >= r_l75 >= r_l50.
 	net := testNetwork(256, 16, quickWaypoint(256))
 	cfg := RunConfig{Iterations: 5, Steps: 60, Seed: 3}
-	est, err := EstimateRanges(net, cfg, PaperTargets())
+	est, err := EstimateRanges(context.Background(), net, cfg, PaperTargets())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,17 +122,17 @@ func TestEstimateRangesOrdering(t *testing.T) {
 func TestEstimateRangesValidation(t *testing.T) {
 	net := testNetwork(100, 10, mobility.Stationary{})
 	cfg := RunConfig{Iterations: 2, Steps: 2, Seed: 1}
-	if _, err := EstimateRanges(net, cfg, RangeTargets{TimeFractions: []float64{1.5}}); err == nil {
+	if _, err := EstimateRanges(context.Background(), net, cfg, RangeTargets{TimeFractions: []float64{1.5}}); err == nil {
 		t.Error("time fraction > 1 accepted")
 	}
-	if _, err := EstimateRanges(net, cfg, RangeTargets{ComponentFractions: []float64{0}}); err == nil {
+	if _, err := EstimateRanges(context.Background(), net, cfg, RangeTargets{ComponentFractions: []float64{0}}); err == nil {
 		t.Error("component fraction 0 accepted")
 	}
 	one := testNetwork(100, 1, mobility.Stationary{})
-	if _, err := EstimateRanges(one, cfg, PaperTargets()); err == nil {
+	if _, err := EstimateRanges(context.Background(), one, cfg, PaperTargets()); err == nil {
 		t.Error("single-node estimation accepted")
 	}
-	if _, err := EstimateRanges(net, RunConfig{}, PaperTargets()); err == nil {
+	if _, err := EstimateRanges(context.Background(), net, RunConfig{}, PaperTargets()); err == nil {
 		t.Error("zero-iteration config accepted")
 	}
 }
@@ -154,11 +155,11 @@ func TestStationaryStepsOneMatchesStationarySample(t *testing.T) {
 	const n, iters = 24, 40
 	net := Network{Nodes: n, Region: reg, Model: mobility.Stationary{}}
 	cfg := RunConfig{Iterations: iters, Steps: 1, Seed: 77}
-	est, err := EstimateRanges(net, cfg, RangeTargets{TimeFractions: []float64{1}})
+	est, err := EstimateRanges(context.Background(), net, cfg, RangeTargets{TimeFractions: []float64{1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sample, err := StationaryCriticalSample(reg, n, iters, 77, 0)
+	sample, err := StationaryCriticalSample(context.Background(), reg, n, iters, 77, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,11 +187,11 @@ func TestFixedRangeMatchesDirect(t *testing.T) {
 	net := testNetwork(256, 20, quickWaypoint(256))
 	cfg := RunConfig{Iterations: 4, Steps: 50, Seed: 5}
 	for _, r := range []float64{10, 40, 80, 160} {
-		viaProfile, err := EvaluateFixedRange(net, cfg, r)
+		viaProfile, err := EvaluateFixedRange(context.Background(), net, cfg, r)
 		if err != nil {
 			t.Fatal(err)
 		}
-		direct, err := DirectFixedRange(net, cfg, r)
+		direct, err := DirectFixedRange(context.Background(), net, cfg, r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +223,7 @@ func TestFixedRangeMonotoneInRadius(t *testing.T) {
 	net := testNetwork(256, 16, quickWaypoint(256))
 	cfg := RunConfig{Iterations: 3, Steps: 60, Seed: 8}
 	radii := []float64{5, 20, 50, 100, 200, 400}
-	res, err := EvaluateFixedRanges(net, cfg, radii)
+	res, err := EvaluateFixedRanges(context.Background(), net, cfg, radii)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestFixedRangeExtremes(t *testing.T) {
 	net := testNetwork(100, 12, quickWaypoint(100))
 	cfg := RunConfig{Iterations: 2, Steps: 30, Seed: 4}
 	// At the region diameter every graph is complete.
-	res, err := EvaluateFixedRange(net, cfg, net.Region.Diameter())
+	res, err := EvaluateFixedRange(context.Background(), net, cfg, net.Region.Diameter())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestFixedRangeExtremes(t *testing.T) {
 		t.Fatalf("min largest = %d, want %d", res.MinLargest, net.Nodes)
 	}
 	// At radius 0 (nodes a.s. distinct) everything is isolated.
-	res, err = EvaluateFixedRange(net, cfg, 0)
+	res, err = EvaluateFixedRange(context.Background(), net, cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,12 +276,12 @@ func TestFixedRangeAtEstimatedR100(t *testing.T) {
 	// for that iteration; at the across-iteration max it holds for all.
 	net := testNetwork(256, 16, quickWaypoint(256))
 	cfg := RunConfig{Iterations: 4, Steps: 50, Seed: 11}
-	est, err := EstimateRanges(net, cfg, RangeTargets{TimeFractions: []float64{1}})
+	est, err := EstimateRanges(context.Background(), net, cfg, RangeTargets{TimeFractions: []float64{1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	r100 := est.Time[0]
-	res, err := EvaluateFixedRange(net, cfg, r100.Max)
+	res, err := EvaluateFixedRange(context.Background(), net, cfg, r100.Max)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,11 +293,11 @@ func TestFixedRangeAtEstimatedR100(t *testing.T) {
 func TestFixedRangeIntervalStats(t *testing.T) {
 	net := testNetwork(256, 16, quickWaypoint(256))
 	cfg := RunConfig{Iterations: 3, Steps: 80, Seed: 13}
-	est, err := EstimateRanges(net, cfg, RangeTargets{TimeFractions: []float64{0.5}})
+	est, err := EstimateRanges(context.Background(), net, cfg, RangeTargets{TimeFractions: []float64{0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := EvaluateFixedRange(net, cfg, est.Time[0].Mean)
+	res, err := EvaluateFixedRange(context.Background(), net, cfg, est.Time[0].Mean)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,23 +326,23 @@ func TestFixedRangeIntervalStats(t *testing.T) {
 func TestEvaluateFixedRangesValidation(t *testing.T) {
 	net := testNetwork(100, 10, mobility.Stationary{})
 	cfg := RunConfig{Iterations: 1, Steps: 1, Seed: 1}
-	if _, err := EvaluateFixedRanges(net, cfg, nil); err == nil {
+	if _, err := EvaluateFixedRanges(context.Background(), net, cfg, nil); err == nil {
 		t.Error("empty radii accepted")
 	}
-	if _, err := EvaluateFixedRanges(net, cfg, []float64{-1}); err == nil {
+	if _, err := EvaluateFixedRanges(context.Background(), net, cfg, []float64{-1}); err == nil {
 		t.Error("negative radius accepted")
 	}
-	if _, err := EvaluateFixedRanges(net, cfg, []float64{math.NaN()}); err == nil {
+	if _, err := EvaluateFixedRanges(context.Background(), net, cfg, []float64{math.NaN()}); err == nil {
 		t.Error("NaN radius accepted")
 	}
-	if _, err := DirectFixedRange(net, cfg, -1); err == nil {
+	if _, err := DirectFixedRange(context.Background(), net, cfg, -1); err == nil {
 		t.Error("direct negative radius accepted")
 	}
 }
 
 func TestStationarySampleSortedAndPositive(t *testing.T) {
 	reg := geom.MustRegion(1000, 2)
-	sample, err := StationaryCriticalSample(reg, 32, 60, 1, 0)
+	sample, err := StationaryCriticalSample(context.Background(), reg, 32, 60, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,13 +361,13 @@ func TestStationarySampleSortedAndPositive(t *testing.T) {
 
 func TestStationarySampleValidation(t *testing.T) {
 	reg := geom.MustRegion(100, 2)
-	if _, err := StationaryCriticalSample(reg, 1, 10, 1, 0); err == nil {
+	if _, err := StationaryCriticalSample(context.Background(), reg, 1, 10, 1, 0); err == nil {
 		t.Error("n=1 accepted")
 	}
-	if _, err := StationaryCriticalSample(reg, 10, 0, 1, 0); err == nil {
+	if _, err := StationaryCriticalSample(context.Background(), reg, 10, 0, 1, 0); err == nil {
 		t.Error("samples=0 accepted")
 	}
-	if _, err := StationaryCriticalSample(geom.Region{L: -1, Dim: 2}, 10, 5, 1, 0); err == nil {
+	if _, err := StationaryCriticalSample(context.Background(), geom.Region{L: -1, Dim: 2}, 10, 5, 1, 0); err == nil {
 		t.Error("bad region accepted")
 	}
 }
@@ -374,11 +375,11 @@ func TestStationarySampleValidation(t *testing.T) {
 func TestRStationaryQuantileSemantics(t *testing.T) {
 	reg := geom.MustRegion(1000, 2)
 	const n, samples = 32, 200
-	r99, err := RStationary(reg, n, samples, 7, 0, 0.99)
+	r99, err := RStationary(context.Background(), reg, n, samples, 7, 0, 0.99)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r50, err := RStationary(reg, n, samples, 7, 0, 0.5)
+	r50, err := RStationary(context.Background(), reg, n, samples, 7, 0, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +387,7 @@ func TestRStationaryQuantileSemantics(t *testing.T) {
 		t.Fatalf("r(0.99)=%v should exceed r(0.5)=%v", r99, r50)
 	}
 	// The fraction of placements connected at r99 should be ~0.99.
-	sample, err := StationaryCriticalSample(reg, n, samples, 7, 0)
+	sample, err := StationaryCriticalSample(context.Background(), reg, n, samples, 7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,10 +395,10 @@ func TestRStationaryQuantileSemantics(t *testing.T) {
 	if frac < 0.97 {
 		t.Fatalf("connectivity fraction at r99 = %v", frac)
 	}
-	if _, err := RStationary(reg, n, samples, 7, 0, 0); err == nil {
+	if _, err := RStationary(context.Background(), reg, n, samples, 7, 0, 0); err == nil {
 		t.Error("quantile 0 accepted")
 	}
-	if _, err := RStationary(reg, n, samples, 7, 0, 1.2); err == nil {
+	if _, err := RStationary(context.Background(), reg, n, samples, 7, 0, 1.2); err == nil {
 		t.Error("quantile > 1 accepted")
 	}
 }
@@ -444,7 +445,7 @@ func BenchmarkEstimateRanges16Nodes(b *testing.B) {
 	cfg := RunConfig{Iterations: 2, Steps: 100, Seed: 1, Workers: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EstimateRanges(net, cfg, PaperTargets()); err != nil {
+		if _, err := EstimateRanges(context.Background(), net, cfg, PaperTargets()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -455,7 +456,7 @@ func BenchmarkFixedRangeProfile(b *testing.B) {
 	cfg := RunConfig{Iterations: 1, Steps: 100, Seed: 1, Workers: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EvaluateFixedRange(net, cfg, 300); err != nil {
+		if _, err := EvaluateFixedRange(context.Background(), net, cfg, 300); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -466,7 +467,7 @@ func BenchmarkFixedRangeDirect(b *testing.B) {
 	cfg := RunConfig{Iterations: 1, Steps: 100, Seed: 1, Workers: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := DirectFixedRange(net, cfg, 300); err != nil {
+		if _, err := DirectFixedRange(context.Background(), net, cfg, 300); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@ package core
 // certifies the repository's one algorithmic liberty (DESIGN.md).
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,7 +28,7 @@ func bisectRangeForUptime(t *testing.T, net Network, cfg RunConfig, target float
 	lo, hi := 0.0, net.Region.Diameter()
 	for i := 0; i < 48; i++ {
 		mid := (lo + hi) / 2
-		res, err := EvaluateFixedRange(net, cfg, mid)
+		res, err := EvaluateFixedRange(context.Background(), net, cfg, mid)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func TestProfileEstimatesMatchBisection(t *testing.T) {
 	net := testNetwork(512, 18, quickWaypoint(512))
 	cfg := RunConfig{Iterations: 3, Steps: 50, Seed: 31}
 
-	est, err := EstimateRanges(net, cfg, RangeTargets{TimeFractions: []float64{1, 0.9, 0.5}})
+	est, err := EstimateRanges(context.Background(), net, cfg, RangeTargets{TimeFractions: []float64{1, 0.9, 0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestProfileEstimatesMatchBisection(t *testing.T) {
 		// uptime is at least f, and for f=1 they coincide with the maximum
 		// critical radius exactly.
 		viaProfile := est.Time[i]
-		res, err := EvaluateFixedRange(net, cfg, viaProfile.Max)
+		res, err := EvaluateFixedRange(context.Background(), net, cfg, viaProfile.Max)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func TestProfileComponentTargetMatchesDirectEvaluation(t *testing.T) {
 	// ALL snapshots) must reach 0.5n for each iteration's own radius.
 	net := testNetwork(512, 20, quickWaypoint(512))
 	cfg := RunConfig{Iterations: 1, Steps: 60, Seed: 41}
-	est, err := EstimateRanges(net, cfg, RangeTargets{ComponentFractions: []float64{0.5}})
+	est, err := EstimateRanges(context.Background(), net, cfg, RangeTargets{ComponentFractions: []float64{0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package core
 // (dense PrimMST) produces, and independent of the worker count.
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -71,7 +72,7 @@ func TestEstimateRangesUnchangedFromDensePrim(t *testing.T) {
 			net.Region.Dim = 1
 		}
 		cfg := RunConfig{Iterations: 3, Steps: 12, Seed: 923, Workers: 2}
-		est, err := EstimateRanges(net, cfg, targets)
+		est, err := EstimateRanges(context.Background(), net, cfg, targets)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func TestEstimateRangesUnchangedFromDensePrim(t *testing.T) {
 
 func TestStationaryCriticalSampleUnchangedFromDensePrim(t *testing.T) {
 	reg := geom.MustRegion(16384, 2)
-	got, err := StationaryCriticalSample(reg, 128, 40, 77, 4)
+	got, err := StationaryCriticalSample(context.Background(), reg, 128, 40, 77, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -33,6 +34,13 @@ func PaperTargets() RangeTargets {
 		TimeFractions:      []float64{1, 0.9, 0.1, 0},
 		ComponentFractions: []float64{0.9, 0.75, 0.5},
 	}
+}
+
+// RowWidth returns the checkpoint-row width of an EstimateRanges run with
+// these targets (one value per requested statistic), for building checkpoint
+// metadata up front.
+func (t RangeTargets) RowWidth() int {
+	return len(t.TimeFractions) + len(t.ComponentFractions)
 }
 
 // Validate checks the targets.
@@ -114,7 +122,11 @@ func (e RangeEstimates) ComponentFraction(g float64) (Estimate, error) {
 // time-averaged largest-component curve by bisection. Per-iteration values
 // are then summarized across iterations exactly as the paper averages its 50
 // simulations.
-func EstimateRanges(net Network, cfg RunConfig, targets RangeTargets) (RangeEstimates, error) {
+//
+// The run honors ctx (a canceled run returns ErrCanceled within about one
+// snapshot's evaluation time) and supports checkpoint/resume through
+// cfg.Sink; an iteration's checkpoint row is its per-target range values.
+func EstimateRanges(ctx context.Context, net Network, cfg RunConfig, targets RangeTargets) (RangeEstimates, error) {
 	if err := net.Validate(); err != nil {
 		return RangeEstimates{}, err
 	}
@@ -136,11 +148,12 @@ func EstimateRanges(net Network, cfg RunConfig, targets RangeTargets) (RangeEsti
 	for i := range compVals {
 		compVals[i] = make([]float64, cfg.Iterations)
 	}
+	rowWidth := targets.RowWidth()
 
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error {
+	err := forEachIteration(ctx, cfg, func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error) {
 		profiles := make([]*graph.Profile, 0, cfg.Steps)
 		criticals := make([]float64, 0, cfg.Steps)
-		err := runTrajectory(net, cfg.Steps, inner, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, rng, ws,
 			func() *estimateSnap { return &estimateSnap{} },
 			func(_ int, pts []geom.Point, ws *graph.Workspace, out *estimateSnap) {
 				p := ws.Profile(pts, net.Region.Dim)
@@ -156,7 +169,7 @@ func EstimateRanges(net Network, cfg RunConfig, targets RangeTargets) (RangeEsti
 				criticals = append(criticals, out.critical)
 			})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sort.Float64s(criticals)
 		for i, f := range targets.TimeFractions {
@@ -164,6 +177,28 @@ func EstimateRanges(net Network, cfg RunConfig, targets RangeTargets) (RangeEsti
 		}
 		for i, g := range targets.ComponentFractions {
 			compVals[i][iter] = radiusForAverageLargest(profiles, net.Nodes, g)
+		}
+		if cfg.Sink == nil {
+			return nil, nil
+		}
+		row := make([]float64, 0, rowWidth)
+		for i := range targets.TimeFractions {
+			row = append(row, timeVals[i][iter])
+		}
+		for i := range targets.ComponentFractions {
+			row = append(row, compVals[i][iter])
+		}
+		return row, nil
+	}, func(iter int, row []float64) error {
+		if len(row) != rowWidth {
+			return fmt.Errorf("core: checkpoint row for iteration %d has %d values, want %d (targets changed?)",
+				iter, len(row), rowWidth)
+		}
+		for i := range targets.TimeFractions {
+			timeVals[i][iter] = row[i]
+		}
+		for i := range targets.ComponentFractions {
+			compVals[i][iter] = row[len(targets.TimeFractions)+i]
 		}
 		return nil
 	})

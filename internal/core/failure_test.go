@@ -5,6 +5,7 @@ package core
 // hostile mobility models.
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -61,56 +62,60 @@ func (s *escapingState) Step() {
 }
 
 func TestEvaluatorsSurfaceModelErrors(t *testing.T) {
+	leakCheck(t)
 	net := Network{Nodes: 10, Region: geom.MustRegion(100, 2), Model: failingModel{failProb: 1}}
 	cfg := RunConfig{Iterations: 4, Steps: 5, Seed: 1, Workers: 2}
 
-	if _, err := EstimateRanges(net, cfg, PaperTargets()); !errors.Is(err, errInjected) {
+	if _, err := EstimateRanges(context.Background(), net, cfg, PaperTargets()); !errors.Is(err, errInjected) {
 		t.Errorf("EstimateRanges returned %v, want injected error", err)
 	}
-	if _, err := EvaluateFixedRange(net, cfg, 10); !errors.Is(err, errInjected) {
+	if _, err := EvaluateFixedRange(context.Background(), net, cfg, 10); !errors.Is(err, errInjected) {
 		t.Errorf("EvaluateFixedRange returned %v, want injected error", err)
 	}
-	if _, err := DirectFixedRange(net, cfg, 10); !errors.Is(err, errInjected) {
+	if _, err := DirectFixedRange(context.Background(), net, cfg, 10); !errors.Is(err, errInjected) {
 		t.Errorf("DirectFixedRange returned %v, want injected error", err)
 	}
-	if _, err := EvaluateStructure(net, cfg, 10); !errors.Is(err, errInjected) {
+	if _, err := EvaluateStructure(context.Background(), net, cfg, 10); !errors.Is(err, errInjected) {
 		t.Errorf("EvaluateStructure returned %v, want injected error", err)
 	}
 }
 
 func TestIntermittentFailureStillErrors(t *testing.T) {
+	leakCheck(t)
 	// Even if only some iterations fail, the run must report failure rather
 	// than return partial results.
 	net := Network{Nodes: 10, Region: geom.MustRegion(100, 2), Model: failingModel{failProb: 0.5}}
 	cfg := RunConfig{Iterations: 16, Steps: 3, Seed: 3, Workers: 4}
-	if _, err := EstimateRanges(net, cfg, PaperTargets()); !errors.Is(err, errInjected) {
+	if _, err := EstimateRanges(context.Background(), net, cfg, PaperTargets()); !errors.Is(err, errInjected) {
 		t.Errorf("intermittent failure not surfaced: %v", err)
 	}
 }
 
 func TestEscapingModelDoesNotPanic(t *testing.T) {
+	leakCheck(t)
 	// Out-of-region positions are a model bug, but evaluation must stay
 	// total: distances remain finite, so profiles and graphs still make
 	// sense geometrically.
 	net := Network{Nodes: 8, Region: geom.MustRegion(50, 2), Model: escapingModel{}}
 	cfg := RunConfig{Iterations: 2, Steps: 10, Seed: 5}
-	est, err := EstimateRanges(net, cfg, RangeTargets{TimeFractions: []float64{1}})
+	est, err := EstimateRanges(context.Background(), net, cfg, RangeTargets{TimeFractions: []float64{1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if est.Time[0].Mean <= 0 {
 		t.Fatalf("degenerate estimate %v", est.Time[0].Mean)
 	}
-	if _, err := EvaluateFixedRange(net, cfg, 10); err != nil {
+	if _, err := EvaluateFixedRange(context.Background(), net, cfg, 10); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestZeroNodesFixedRange(t *testing.T) {
+	leakCheck(t)
 	// n = 0 is a valid (empty) network: always trivially connected.
 	net := Network{Nodes: 0, Region: geom.MustRegion(100, 2), Model: mobility.Stationary{}}
 	cfg := RunConfig{Iterations: 2, Steps: 3, Seed: 1}
-	res, err := EvaluateFixedRange(net, cfg, 10)
+	res, err := EvaluateFixedRange(context.Background(), net, cfg, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,9 +128,10 @@ func TestZeroNodesFixedRange(t *testing.T) {
 }
 
 func TestSingleNodeFixedRange(t *testing.T) {
+	leakCheck(t)
 	net := Network{Nodes: 1, Region: geom.MustRegion(100, 2), Model: mobility.Stationary{}}
 	cfg := RunConfig{Iterations: 2, Steps: 3, Seed: 1}
-	res, err := EvaluateFixedRange(net, cfg, 0)
+	res, err := EvaluateFixedRange(context.Background(), net, cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,9 +141,10 @@ func TestSingleNodeFixedRange(t *testing.T) {
 }
 
 func TestWorkerCountExceedingIterations(t *testing.T) {
+	leakCheck(t)
 	net := Network{Nodes: 6, Region: geom.MustRegion(100, 2), Model: mobility.Stationary{}}
 	cfg := RunConfig{Iterations: 2, Steps: 2, Seed: 1, Workers: 64}
-	if _, err := EvaluateFixedRange(net, cfg, 10); err != nil {
+	if _, err := EvaluateFixedRange(context.Background(), net, cfg, 10); err != nil {
 		t.Fatal(err)
 	}
 }

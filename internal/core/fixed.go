@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,7 +60,11 @@ type FixedRangeResult struct {
 // simulator's outputs for every requested transmitting range. Each
 // snapshot's connectivity profile answers all ranges at once, so the cost is
 // one trajectory pass regardless of len(radii).
-func EvaluateFixedRanges(net Network, cfg RunConfig, radii []float64) ([]FixedRangeResult, error) {
+//
+// The run honors ctx (a canceled run returns ErrCanceled within about one
+// snapshot's evaluation time) and supports checkpoint/resume through
+// cfg.Sink; an iteration's checkpoint row is its IterationResult per radius.
+func EvaluateFixedRanges(ctx context.Context, net Network, cfg RunConfig, radii []float64) ([]FixedRangeResult, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,12 +85,12 @@ func EvaluateFixedRanges(net Network, cfg RunConfig, radii []float64) ([]FixedRa
 		perIter[i] = make([]IterationResult, cfg.Iterations)
 	}
 
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error {
+	err := forEachIteration(ctx, cfg, func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error) {
 		accs := make([]fixedAccumulator, len(radii))
 		for i := range accs {
 			accs[i].minLargest = net.Nodes + 1
 		}
-		err := runTrajectory(net, cfg.Steps, inner, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, rng, ws,
 			func() []radiusObs { return make([]radiusObs, len(radii)) },
 			func(_ int, pts []geom.Point, ws *graph.Workspace, out []radiusObs) {
 				p := ws.Profile(pts, net.Region.Dim)
@@ -101,10 +106,26 @@ func EvaluateFixedRanges(net Network, cfg RunConfig, radii []float64) ([]FixedRa
 				}
 			})
 		if err != nil {
-			return err
+			return nil, err
+		}
+		var row []float64
+		if cfg.Sink != nil {
+			row = make([]float64, 0, len(radii)*iterationResultWidth)
 		}
 		for i := range accs {
 			perIter[i][iter] = accs[i].finish()
+			if cfg.Sink != nil {
+				row = appendIterationResult(row, perIter[i][iter])
+			}
+		}
+		return row, nil
+	}, func(iter int, row []float64) error {
+		if len(row) != len(radii)*iterationResultWidth {
+			return fmt.Errorf("core: checkpoint row for iteration %d has %d values, want %d (radii changed?)",
+				iter, len(row), len(radii)*iterationResultWidth)
+		}
+		for i := range radii {
+			perIter[i][iter] = decodeIterationResult(row[i*iterationResultWidth:])
 		}
 		return nil
 	})
@@ -120,13 +141,51 @@ func EvaluateFixedRanges(net Network, cfg RunConfig, radii []float64) ([]FixedRa
 }
 
 // EvaluateFixedRange is EvaluateFixedRanges for a single radius.
-func EvaluateFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeResult, error) {
-	res, err := EvaluateFixedRanges(net, cfg, []float64{radius})
+func EvaluateFixedRange(ctx context.Context, net Network, cfg RunConfig, radius float64) (FixedRangeResult, error) {
+	res, err := EvaluateFixedRanges(ctx, net, cfg, []float64{radius})
 	if err != nil {
 		return FixedRangeResult{}, err
 	}
 	return res[0], nil
 }
+
+// iterationResultWidth is the flat checkpoint-row footprint of one
+// IterationResult. The integer fields (MinLargest, interval counts and
+// lengths) are bounded by the node and step counts, far inside float64's
+// exact-integer range, so the encoding is lossless; the NaN sentinels travel
+// as raw bit patterns (the checkpoint format stores IEEE bits).
+const iterationResultWidth = 6
+
+// appendIterationResult flattens one iteration's result onto row.
+func appendIterationResult(row []float64, r IterationResult) []float64 {
+	return append(row,
+		r.ConnectedFraction,
+		r.AvgLargestDisconnected,
+		float64(r.MinLargest),
+		float64(r.Intervals.Count),
+		r.Intervals.MeanLength,
+		float64(r.Intervals.MaxLength),
+	)
+}
+
+// decodeIterationResult is the inverse of appendIterationResult; it reads
+// the first iterationResultWidth values of row.
+func decodeIterationResult(row []float64) IterationResult {
+	return IterationResult{
+		ConnectedFraction:      row[0],
+		AvgLargestDisconnected: row[1],
+		MinLargest:             int(row[2]),
+		Intervals: IntervalStats{
+			Count:      int(row[3]),
+			MeanLength: row[4],
+			MaxLength:  int(row[5]),
+		},
+	}
+}
+
+// FixedRangeRowWidth returns the checkpoint-row width of a fixed-range run
+// over the given number of radii, for building checkpoint metadata up front.
+func FixedRangeRowWidth(radii int) int { return radii * iterationResultWidth }
 
 // radiusObs is one snapshot's observation at one radius: the
 // largest-component size and whether the graph was connected.
@@ -242,8 +301,10 @@ func reduceFixed(r float64, nodes, steps int, iters []IterationResult) FixedRang
 // every mobility step, exactly as the paper's simulator did, instead of
 // deriving connectivity from MST profiles. It exists for cross-validation
 // (the two must agree bit-for-bit on the same seed) and for the
-// profile-vs-direct ablation benchmark.
-func DirectFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeResult, error) {
+// profile-vs-direct ablation benchmark. It shares the lifecycle contract of
+// EvaluateFixedRanges: ctx cancellation, panic containment, and
+// checkpoint/resume through cfg.Sink (same row layout, one radius).
+func DirectFixedRange(ctx context.Context, net Network, cfg RunConfig, radius float64) (FixedRangeResult, error) {
 	if err := net.Validate(); err != nil {
 		return FixedRangeResult{}, err
 	}
@@ -255,9 +316,9 @@ func DirectFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeRes
 	}
 
 	iters := make([]IterationResult, cfg.Iterations)
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error {
+	err := forEachIteration(ctx, cfg, func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error) {
 		acc := fixedAccumulator{minLargest: net.Nodes + 1}
-		err := runTrajectory(net, cfg.Steps, inner, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, rng, ws,
 			func() *radiusObs { return &radiusObs{} },
 			func(_ int, pts []geom.Point, ws *graph.Workspace, out *radiusObs) {
 				g := ws.PointGraph(pts, net.Region.Dim, radius)
@@ -269,9 +330,19 @@ func DirectFixedRange(net Network, cfg RunConfig, radius float64) (FixedRangeRes
 				acc.observe(int(out.largest), out.connected)
 			})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		iters[iter] = acc.finish()
+		if cfg.Sink == nil {
+			return nil, nil
+		}
+		return appendIterationResult(make([]float64, 0, iterationResultWidth), iters[iter]), nil
+	}, func(iter int, row []float64) error {
+		if len(row) != iterationResultWidth {
+			return fmt.Errorf("core: checkpoint row for iteration %d has %d values, want %d",
+				iter, len(row), iterationResultWidth)
+		}
+		iters[iter] = decodeIterationResult(row)
 		return nil
 	})
 	if err != nil {

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
+	"adhocnet/internal/faultinject"
 	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/mobility"
@@ -31,6 +34,19 @@ import (
 //
 // Hence results are bit-identical for every Workers value, which the
 // scheduler tests pin down.
+//
+// Lifecycle contracts (see lifecycle.go and DESIGN.md "Run lifecycle"):
+//
+//   - Cancellation is cooperative with snapshot granularity: the producer,
+//     every evaluator and the reducer check the run context between
+//     snapshots, so a canceled run returns within about one snapshot's
+//     evaluation time, with the ring drained and all goroutines joined.
+//   - A panic in any worker is converted to *PanicError with (iteration,
+//     step) provenance, cancels its siblings, and shuts the pool down; the
+//     panicking worker's workspace is abandoned, not repooled.
+//   - Iteration-level errors do not cancel sibling iterations (they are
+//     independent Monte-Carlo trials); all of them are surfaced together
+//     via errors.Join. Panics and context cancellation do cancel.
 
 // Levels reports how the configuration's worker budget is split across the
 // two scheduler levels: outer is the number of iterations simulated
@@ -80,23 +96,74 @@ func (c RunConfig) FormatLevels() string {
 	return fmt.Sprintf("%dx%d", outer, inner)
 }
 
-// forEachIteration runs fn for every iteration index with a private,
+// forEachIteration runs `run` for every iteration index with a private,
 // deterministically derived random stream, using a bounded worker pool (the
-// scheduler's outer level). Each worker owns one graph.Workspace that fn
-// reuses across its iterations, and receives the inner snapshot-worker budget
-// it may spend per iteration (fn forwards it to runTrajectory). Results must
-// not depend on which worker runs which iteration, nor on the inner budget,
-// which is what keeps RunConfig determinism independent of Workers. It
-// returns the first error encountered (all workers are always awaited).
-func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error) error {
+// scheduler's outer level). Each worker owns one graph.Workspace that run
+// reuses across its iterations, and receives the inner snapshot-worker
+// budget it may spend per iteration (run forwards it to runTrajectory).
+// Results must not depend on which worker runs which iteration, nor on the
+// inner budget, which is what keeps RunConfig determinism independent of
+// Workers.
+//
+// run returns the iteration's checkpoint row (nil when cfg.Sink is nil);
+// restore is its inverse, replaying a committed row into the caller's result
+// arrays. When cfg.Sink is set, iterations the sink already holds are
+// restored on the calling goroutine and never simulated — the remaining
+// iterations use the same seed-derived streams they would in a full run, so
+// a resumed run is bit-identical to an uninterrupted one.
+//
+// Error policy: an iteration that fails with an ordinary error is recorded
+// and the remaining iterations still run (independent Monte-Carlo trials);
+// every recorded error is returned via errors.Join. A panic (converted to
+// *PanicError by runIteration) or a canceled ctx stops the run promptly:
+// queued iterations are not started, in-flight ones stop at the next
+// snapshot boundary, and all workers are always joined before returning.
+func forEachIteration(ctx context.Context, cfg RunConfig,
+	run func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error),
+	restore func(iter int, row []float64) error,
+) error {
+	if err := ctx.Err(); err != nil {
+		return ctxError(ctx)
+	}
+	if cfg.Sink != nil && restore == nil {
+		return fmt.Errorf("core: this entry point does not support checkpoint/resume (RunConfig.Sink must be nil)")
+	}
 	seeds := xrand.New(cfg.Seed).SplitN(cfg.Iterations)
+
+	// Restore already-completed iterations before spawning anything, in
+	// iteration order on this goroutine, so restoration is deterministic.
+	var skip []bool
+	if cfg.Sink != nil {
+		skip = make([]bool, cfg.Iterations)
+		for i := 0; i < cfg.Iterations; i++ {
+			row, ok := cfg.Sink.Lookup(i)
+			if !ok {
+				continue
+			}
+			if err := restore(i, row); err != nil {
+				return err
+			}
+			skip[i] = true
+		}
+	}
+
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
 
 	outer, base, extra := cfg.Levels()
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
 	)
+	record := func(err error, abort bool) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+		if abort {
+			cancel(err)
+		}
+	}
 	next := make(chan int)
 	for w := 0; w < outer; w++ {
 		inner := base
@@ -108,22 +175,60 @@ func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand, ws *grap
 			defer wg.Done()
 			ws := graph.NewWorkspace()
 			for iter := range next {
-				if err := fn(iter, seeds[iter], ws, inner); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+				if runCtx.Err() != nil {
+					continue // canceled: drain the queue without simulating
+				}
+				row, err := runIteration(runCtx, iter, seeds[iter], ws, inner, run)
+				if err != nil {
+					if isCancellation(err) {
+						continue
 					}
-					mu.Unlock()
+					var pe *PanicError
+					record(err, errors.As(err, &pe))
+					continue
+				}
+				if cfg.Sink != nil {
+					cfg.Sink.Commit(iter, row)
 				}
 			}
 		}(inner)
 	}
+dispatch:
 	for i := 0; i < cfg.Iterations; i++ {
-		next <- i
+		if skip != nil && skip[i] {
+			continue
+		}
+		select {
+		case next <- i:
+		case <-runCtx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
-	return firstErr
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return ctxError(ctx)
+	}
+	return nil
+}
+
+// runIteration invokes run with a catch-all panic guard: a panic anywhere in
+// the iteration that is not already attributed to a snapshot step (those are
+// recovered closer to the fault, with step provenance) surfaces as a
+// *PanicError with Step = -1.
+func runIteration(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int,
+	run func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error),
+) (row []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(iter, -1, r)
+		}
+	}()
+	faultinject.Fire(faultinject.IterationStart, iter, -1)
+	return run(ctx, iter, rng, ws, inner)
 }
 
 // runTrajectory simulates one iteration of the network: it drives the
@@ -142,8 +247,9 @@ func forEachIteration(cfg RunConfig, fn func(iter int, rng *xrand.Rand, ws *grap
 // With inner <= 1 the scheduler degenerates to the sequential loop of the
 // per-iteration path (no goroutines, no copies, positions handed to eval
 // directly), which is also the reference the determinism tests compare the
-// pooled path against.
-func runTrajectory[R any](net Network, steps, inner int, rng *xrand.Rand, ws *graph.Workspace,
+// pooled path against. Both paths honor ctx between snapshots and convert
+// panics in eval/merge/Step into *PanicError values carrying (iter, step).
+func runTrajectory[R any](ctx context.Context, iter int, net Network, steps, inner int, rng *xrand.Rand, ws *graph.Workspace,
 	newSlot func() R,
 	eval func(step int, pts []geom.Point, ws *graph.Workspace, out R),
 	merge func(step int, out R),
@@ -155,23 +261,33 @@ func runTrajectory[R any](net Network, steps, inner int, rng *xrand.Rand, ws *gr
 	if inner <= 1 || steps < 2 {
 		out := newSlot()
 		for t := 0; t < steps; t++ {
-			if t > 0 {
-				state.Step()
+			if ctx.Err() != nil {
+				return ctxError(ctx)
 			}
-			eval(t, state.Positions(), ws, out)
-			merge(t, out)
+			if t > 0 {
+				if err := guardedStep(iter, t, state); err != nil {
+					return err
+				}
+			}
+			if err := guardedEval(iter, t, state.Positions(), ws, out, eval); err != nil {
+				return err
+			}
+			if err := guardedMerge(iter, t, out, merge); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
-	runSnapshotPool(state, net.Nodes, steps, inner, newSlot, eval, merge)
-	return nil
+	return runSnapshotPool(ctx, iter, state, net.Nodes, steps, inner, newSlot, eval, merge)
 }
 
 // posRings pools position-buffer rings across pooled-trajectory iterations,
 // so the mixed regime (several concurrent iterations, each with an inner
 // pool) does not reallocate ring storage per iteration. Buffer contents are
 // fully overwritten by the producer before every use, so pooling cannot leak
-// state between iterations.
+// state between iterations — which also makes the ring safe to repool after
+// a panic (unlike a graph.Workspace, whose internal invariants a panic may
+// have broken mid-update).
 var posRings = sync.Pool{New: func() any { return &posRing{} }}
 
 type posRing struct {
@@ -202,11 +318,21 @@ func (r *posRing) resize(ring, nodes int) [][]geom.Point {
 // previous tenant was consumed, and the reducer's reorder window is bounded
 // by the ring. All hand-offs are channel sends, so every access is ordered by
 // a happens-before edge (the -race CI job runs this path).
-func runSnapshotPool[R any](state mobility.State, nodes, steps, inner int,
+//
+// Shutdown protocol: poolCtx is canceled by the caller's ctx, by a panic in
+// any worker (recorded first, so the panic error — not a bare cancellation —
+// is what surfaces), or not at all. Because every channel holds at most ring
+// in-flight entries, no send can block past cancellation: the producer's
+// only blocking wait (credits) selects on Done, evaluators drain the closed
+// task channel without evaluating, and the reducer stops merging. The pool
+// always joins every goroutine before returning — no leaks on any path.
+// An evaluator that panicked abandons its pooled workspace instead of
+// releasing it (the panic may have left the workspace mid-update).
+func runSnapshotPool[R any](ctx context.Context, iter int, state mobility.State, nodes, steps, inner int,
 	newSlot func() R,
 	eval func(step int, pts []geom.Point, ws *graph.Workspace, out R),
 	merge func(step int, out R),
-) {
+) error {
 	ring := 2 * inner
 	if ring > steps {
 		ring = steps
@@ -214,6 +340,20 @@ func runSnapshotPool[R any](state mobility.State, nodes, steps, inner int,
 	if inner > ring {
 		inner = ring // more evaluators than in-flight snapshots can't help
 	}
+	poolCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	done := poolCtx.Done()
+	var (
+		errMu sync.Mutex
+		errs  []error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		errs = append(errs, err)
+		errMu.Unlock()
+		cancel(err)
+	}
+
 	pr := posRings.Get().(*posRing)
 	defer posRings.Put(pr)
 	bufs := pr.resize(ring, nodes)
@@ -229,17 +369,33 @@ func runSnapshotPool[R any](state mobility.State, nodes, steps, inner int,
 	results := make(chan int, ring) // step indices with a filled slot
 
 	// Producer: the only goroutine that touches the mobility state. It
-	// performs exactly the Step() sequence of the sequential path.
+	// performs exactly the Step() sequence of the sequential path. Deferred
+	// in LIFO order: the catch-all recover runs first (copy/ring bookkeeping
+	// bugs must not crash the process), then tasks is closed so evaluators
+	// always see end-of-input.
 	go func() {
-		for t := 0; t < steps; t++ {
-			<-credits
+		t := 0
+		defer close(tasks)
+		defer func() {
+			if r := recover(); r != nil {
+				fail(newPanicError(iter, t, r))
+			}
+		}()
+		for ; t < steps; t++ {
+			select {
+			case <-credits:
+			case <-done:
+				return
+			}
 			if t > 0 {
-				state.Step()
+				if err := guardedStep(iter, t, state); err != nil {
+					fail(err)
+					return
+				}
 			}
 			copy(bufs[t%ring], state.Positions())
 			tasks <- t
 		}
-		close(tasks)
 	}()
 
 	var wg sync.WaitGroup
@@ -248,9 +404,21 @@ func runSnapshotPool[R any](state mobility.State, nodes, steps, inner int,
 		go func() {
 			defer wg.Done()
 			ws := graph.AcquireWorkspace()
-			defer graph.ReleaseWorkspace(ws)
+			healthy := true
+			defer func() {
+				if healthy {
+					graph.ReleaseWorkspace(ws)
+				}
+			}()
 			for t := range tasks {
-				eval(t, bufs[t%ring], ws, slots[t%ring])
+				if poolCtx.Err() != nil {
+					continue // canceled: drain the ring without evaluating
+				}
+				if err := guardedEval(iter, t, bufs[t%ring], ws, slots[t%ring], eval); err != nil {
+					healthy = false // the workspace may be mid-update: abandon it
+					fail(err)
+					continue
+				}
 				results <- t
 			}
 		}()
@@ -259,16 +427,34 @@ func runSnapshotPool[R any](state mobility.State, nodes, steps, inner int,
 	// Ordered reduction on the caller's goroutine: workers finish in any
 	// order; merge fires strictly in step order. In-flight steps all lie in
 	// [next, next+ring), so the done window cannot alias two steps.
-	done := make([]bool, ring)
+	filled := make([]bool, ring)
+reduce:
 	for next := 0; next < steps; {
-		t := <-results
-		done[t%ring] = true
-		for next < steps && done[next%ring] {
-			done[next%ring] = false
-			merge(next, slots[next%ring])
+		var t int
+		select {
+		case t = <-results:
+		case <-done:
+			break reduce
+		}
+		filled[t%ring] = true
+		for next < steps && filled[next%ring] {
+			filled[next%ring] = false
+			if err := guardedMerge(iter, next, slots[next%ring], merge); err != nil {
+				fail(err)
+				break reduce
+			}
 			credits <- struct{}{}
 			next++
 		}
 	}
 	wg.Wait()
+	// wg.Wait returning implies the task channel is closed, which implies
+	// the producer's deferred recover already ran: errs is complete.
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	if poolCtx.Err() != nil {
+		return ctxError(poolCtx)
+	}
+	return nil
 }

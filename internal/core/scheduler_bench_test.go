@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -27,7 +28,7 @@ func benchTrajectory(b *testing.B, n, steps, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := RunConfig{Iterations: 1, Steps: steps, Seed: 21, Workers: workers}
-		if _, err := EstimateRanges(net, cfg, targets); err != nil {
+		if _, err := EstimateRanges(context.Background(), net, cfg, targets); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -34,6 +35,7 @@ func schedulerTestNet(t *testing.T, n int) Network {
 }
 
 func TestLevels(t *testing.T) {
+	leakCheck(t)
 	cases := []struct {
 		workers, iterations, steps int
 		outer, inner, spare        int
@@ -75,13 +77,14 @@ func workerCounts() []int {
 // Workers value, in both the iteration-parallel regime (Iterations=5) and the
 // snapshot-parallel regime (Iterations=1).
 func TestEstimateRangesWorkerInvariance(t *testing.T) {
+	leakCheck(t)
 	net := schedulerTestNet(t, 64)
 	targets := PaperTargets()
 	for _, iters := range []int{1, 5} {
 		var want RangeEstimates
 		for i, w := range workerCounts() {
 			cfg := RunConfig{Iterations: iters, Steps: 40, Seed: 11, Workers: w}
-			got, err := EstimateRanges(net, cfg, targets)
+			got, err := EstimateRanges(context.Background(), net, cfg, targets)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -100,13 +103,14 @@ func TestEstimateRangesWorkerInvariance(t *testing.T) {
 // TestEvaluateFixedRangesWorkerInvariance checks the order-sensitive outputs
 // (outage-interval statistics) stay bit-identical across worker counts.
 func TestEvaluateFixedRangesWorkerInvariance(t *testing.T) {
+	leakCheck(t)
 	net := schedulerTestNet(t, 64)
 	radii := []float64{60, 130, 240}
 	for _, iters := range []int{1, 5} {
 		var want []FixedRangeResult
 		for i, w := range workerCounts() {
 			cfg := RunConfig{Iterations: iters, Steps: 40, Seed: 12, Workers: w}
-			got, err := EvaluateFixedRanges(net, cfg, radii)
+			got, err := EvaluateFixedRanges(context.Background(), net, cfg, radii)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -125,11 +129,12 @@ func TestEvaluateFixedRangesWorkerInvariance(t *testing.T) {
 // TestDirectFixedRangeWorkerInvariance covers the explicit-graph path through
 // the snapshot pool.
 func TestDirectFixedRangeWorkerInvariance(t *testing.T) {
+	leakCheck(t)
 	net := schedulerTestNet(t, 48)
 	var want FixedRangeResult
 	for i, w := range workerCounts() {
 		cfg := RunConfig{Iterations: 1, Steps: 30, Seed: 13, Workers: w}
-		got, err := DirectFixedRange(net, cfg, 150)
+		got, err := DirectFixedRange(context.Background(), net, cfg, 150)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,11 +151,12 @@ func TestDirectFixedRangeWorkerInvariance(t *testing.T) {
 // TestEvaluateStructureWorkerInvariance covers the float accumulators
 // (summation order) through the snapshot pool.
 func TestEvaluateStructureWorkerInvariance(t *testing.T) {
+	leakCheck(t)
 	net := schedulerTestNet(t, 32)
 	var want StructureResult
 	for i, w := range workerCounts() {
 		cfg := RunConfig{Iterations: 2, Steps: 20, Seed: 14, Workers: w}
-		got, err := EvaluateStructure(net, cfg, 180)
+		got, err := EvaluateStructure(context.Background(), net, cfg, 180)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,13 +173,14 @@ func TestEvaluateStructureWorkerInvariance(t *testing.T) {
 // TestStationaryCriticalSampleWorkerInvariance keeps the Steps=1 sampler on
 // the determinism contract too.
 func TestStationaryCriticalSampleWorkerInvariance(t *testing.T) {
+	leakCheck(t)
 	reg, err := geom.NewRegion(1024, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var want []float64
 	for i, w := range workerCounts() {
-		got, err := StationaryCriticalSample(reg, 32, 50, 15, w)
+		got, err := StationaryCriticalSample(context.Background(), reg, 32, 50, 15, w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,15 +198,16 @@ func TestStationaryCriticalSampleWorkerInvariance(t *testing.T) {
 // than steps in flight at a time, tiny ring reuse) to stress the buffer-ring
 // recycling under -race.
 func TestSnapshotPoolManyWorkers(t *testing.T) {
+	leakCheck(t)
 	net := schedulerTestNet(t, 24)
 	for _, steps := range []int{2, 3, 17} {
 		cfg1 := RunConfig{Iterations: 1, Steps: steps, Seed: 16, Workers: 1}
 		cfgN := RunConfig{Iterations: 1, Steps: steps, Seed: 16, Workers: 9}
-		want, err := EvaluateFixedRange(net, cfg1, 120)
+		want, err := EvaluateFixedRange(context.Background(), net, cfg1, 120)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := EvaluateFixedRange(net, cfgN, 120)
+		got, err := EvaluateFixedRange(context.Background(), net, cfgN, 120)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,6 +228,7 @@ func TestSnapshotPoolManyWorkers(t *testing.T) {
 //
 //	ADHOCNET_STRICT_SPEEDUP=1 go test ./internal/core/ -run TestSchedulerSpeedup -v
 func TestSchedulerSpeedup(t *testing.T) {
+	leakCheck(t)
 	if testing.Short() {
 		t.Skip("timing test")
 	}
@@ -239,7 +248,7 @@ func TestSchedulerSpeedup(t *testing.T) {
 	run := func(workers, steps int) (RangeEstimates, time.Duration) {
 		cfg := RunConfig{Iterations: 1, Steps: steps, Seed: 17, Workers: workers}
 		start := time.Now()
-		est, err := EstimateRanges(net, cfg, targets)
+		est, err := EstimateRanges(context.Background(), net, cfg, targets)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,6 +277,7 @@ func TestSchedulerSpeedup(t *testing.T) {
 // TestFormatLevels pins the split rendering the CLIs and the ext-sweep
 // experiment show the user, including the uneven-split range form.
 func TestFormatLevels(t *testing.T) {
+	leakCheck(t)
 	cases := []struct {
 		workers, iterations int
 		want                string

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,7 +24,9 @@ const DefaultStationaryQuantile = 0.99
 // minimal r connecting placement i. The returned slice is sorted ascending,
 // so it doubles as the empirical distribution (use stats.ECDF /
 // stats.QuantileSorted on it directly).
-func StationaryCriticalSample(reg geom.Region, n, samples int, seed uint64, workers int) ([]float64, error) {
+//
+// The run honors ctx: a canceled run returns ErrCanceled promptly.
+func StationaryCriticalSample(ctx context.Context, reg geom.Region, n, samples int, seed uint64, workers int) ([]float64, error) {
 	if _, err := geom.NewRegion(reg.L, reg.Dim); err != nil {
 		return nil, err
 	}
@@ -36,12 +39,14 @@ func StationaryCriticalSample(reg geom.Region, n, samples int, seed uint64, work
 	cfg := RunConfig{Iterations: samples, Steps: 1, Seed: seed, Workers: workers}
 	out := make([]float64, samples)
 	// One snapshot per sample: the outer level alone saturates the budget.
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, _ int) error {
+	// No restore callback: this entry point has no RunConfig parameter in its
+	// public signature, so cfg.Sink is always nil here.
+	err := forEachIteration(ctx, cfg, func(_ context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, _ int) ([]float64, error) {
 		pts := ws.Points(n)
 		reg.FillUniformPoints(rng, pts)
 		out[iter] = ws.Profile(pts, reg.Dim).Critical()
-		return nil
-	})
+		return nil, nil
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -52,11 +57,11 @@ func StationaryCriticalSample(reg geom.Region, n, samples int, seed uint64, work
 // RStationary estimates the stationary transmitting range r_stationary as
 // the given quantile of the critical-radius distribution over random uniform
 // placements.
-func RStationary(reg geom.Region, n, samples int, seed uint64, workers int, quantile float64) (float64, error) {
+func RStationary(ctx context.Context, reg geom.Region, n, samples int, seed uint64, workers int, quantile float64) (float64, error) {
 	if quantile <= 0 || quantile > 1 {
 		return 0, fmt.Errorf("core: quantile must be in (0,1], got %v", quantile)
 	}
-	sample, err := StationaryCriticalSample(reg, n, samples, seed, workers)
+	sample, err := StationaryCriticalSample(ctx, reg, n, samples, seed, workers)
 	if err != nil {
 		return 0, err
 	}
@@ -76,7 +81,7 @@ func ConnectivityFractionAt(sortedCriticals []float64, r float64) float64 {
 // connected at range r reaches probability p. The connectivity probability
 // is monotone in n for fixed r, so the search doubles and then bisects; each
 // probe is a Monte-Carlo estimate over the given number of samples.
-func MinNodesForConnectivity(reg geom.Region, r, p float64, samples int, seed uint64, workers int) (int, error) {
+func MinNodesForConnectivity(ctx context.Context, reg geom.Region, r, p float64, samples int, seed uint64, workers int) (int, error) {
 	if _, err := geom.NewRegion(reg.L, reg.Dim); err != nil {
 		return 0, err
 	}
@@ -93,7 +98,7 @@ func MinNodesForConnectivity(reg geom.Region, r, p float64, samples int, seed ui
 		return 1, nil // any placement is connected
 	}
 	probe := func(n int) (float64, error) {
-		sample, err := StationaryCriticalSample(reg, n, samples, seed, workers)
+		sample, err := StationaryCriticalSample(ctx, reg, n, samples, seed, workers)
 		if err != nil {
 			return 0, err
 		}

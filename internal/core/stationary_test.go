@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestMinNodesForConnectivity(t *testing.T) {
 	reg := geom.MustRegion(1000, 2)
 	const r, p, samples = 260.0, 0.9, 400
-	n, err := MinNodesForConnectivity(reg, r, p, samples, 7, 0)
+	n, err := MinNodesForConnectivity(context.Background(), reg, r, p, samples, 7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,14 +22,14 @@ func TestMinNodesForConnectivity(t *testing.T) {
 	}
 	// Verify with an independent sample: n reaches the target (with slack
 	// for Monte-Carlo noise across seeds) and n-2 clearly misses it.
-	check, err := StationaryCriticalSample(reg, n, 2000, 99, 0)
+	check, err := StationaryCriticalSample(context.Background(), reg, n, 2000, 99, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if frac := stats.ECDF(check, r); frac < p-0.06 {
 		t.Fatalf("returned n=%d only reaches %v", n, frac)
 	}
-	below, err := StationaryCriticalSample(reg, n-2, 2000, 99, 0)
+	below, err := StationaryCriticalSample(context.Background(), reg, n-2, 2000, 99, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestMinNodesForConnectivityMatches1DTheory(t *testing.T) {
 	// In 1-D the simulated answer must track the exact spacings law.
 	reg := geom.MustRegion(1000, 1)
 	const ratio = 0.15
-	nSim, err := MinNodesForConnectivity(reg, ratio*reg.L, 0.9, 2500, 5, 0)
+	nSim, err := MinNodesForConnectivity(context.Background(), reg, ratio*reg.L, 0.9, 2500, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestMinNodesForConnectivityMatches1DTheory(t *testing.T) {
 func TestMinNodesForConnectivityDegenerate(t *testing.T) {
 	reg := geom.MustRegion(100, 2)
 	// Range covering the whole region: one node suffices.
-	n, err := MinNodesForConnectivity(reg, 150, 0.9, 50, 1, 0)
+	n, err := MinNodesForConnectivity(context.Background(), reg, 150, 0.9, 50, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,16 +81,16 @@ func TestMinNodesForConnectivityValidation(t *testing.T) {
 		{"zero samples", 10, 0.9, 0, true},
 	}
 	for _, c := range cases {
-		if _, err := MinNodesForConnectivity(reg, c.r, c.p, c.samples, 1, 0); (err != nil) != c.expectFailure {
+		if _, err := MinNodesForConnectivity(context.Background(), reg, c.r, c.p, c.samples, 1, 0); (err != nil) != c.expectFailure {
 			t.Errorf("%s: err = %v", c.name, err)
 		}
 	}
-	if _, err := MinNodesForConnectivity(geom.Region{L: -1, Dim: 2}, 10, 0.9, 50, 1, 0); err == nil {
+	if _, err := MinNodesForConnectivity(context.Background(), geom.Region{L: -1, Dim: 2}, 10, 0.9, 50, 1, 0); err == nil {
 		t.Error("bad region accepted")
 	}
 	// Unreachable target: a microscopic range whose required n exceeds the
 	// search cap. Use the 1-D region so the probes stay O(n log n).
-	if _, err := MinNodesForConnectivity(geom.MustRegion(1e9, 1), 1e-3, 0.99, 4, 1, 0); err == nil {
+	if _, err := MinNodesForConnectivity(context.Background(), geom.MustRegion(1e9, 1), 1e-3, 0.99, 4, 1, 0); err == nil {
 		t.Error("unreachable target should fail")
 	}
 }

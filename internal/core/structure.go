@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -62,11 +63,43 @@ type iterAcc struct {
 	snapshots                                      int
 }
 
+// iterAccWidth is the flat checkpoint-row footprint of one iterAcc: five
+// accumulators of five raw values each, plus the four counters. Counts fit
+// exactly in float64 (they are bounded by the step count).
+const iterAccWidth = 5*5 + 4
+
+// encode flattens the accumulator state onto row (see stats.Accumulator
+// State/Restore for why raw state, not re-observation, is required for
+// bit-identical resume).
+func (a *iterAcc) encode(row []float64) []float64 {
+	for _, acc := range []*stats.Accumulator{&a.degree, &a.isolated, &a.diameter, &a.hops, &a.articulation} {
+		n, mean, m2, min, max := acc.State()
+		row = append(row, float64(n), mean, m2, min, max)
+	}
+	return append(row, float64(a.biconnected), float64(a.disconnected), float64(a.isolatedOnly), float64(a.snapshots))
+}
+
+// decode is the inverse of encode.
+func (a *iterAcc) decode(row []float64) {
+	for _, acc := range []*stats.Accumulator{&a.degree, &a.isolated, &a.diameter, &a.hops, &a.articulation} {
+		acc.Restore(int64(row[0]), row[1], row[2], row[3], row[4])
+		row = row[5:]
+	}
+	a.biconnected = int(row[0])
+	a.disconnected = int(row[1])
+	a.isolatedOnly = int(row[2])
+	a.snapshots = int(row[3])
+}
+
 // EvaluateStructure simulates the network and measures graph-structure
 // metrics at the given transmitting range. It rebuilds the explicit
 // communication graph per snapshot (the profile shortcut cannot answer
 // degree or hop questions).
-func EvaluateStructure(net Network, cfg RunConfig, radius float64) (StructureResult, error) {
+//
+// The run honors ctx (a canceled run returns ErrCanceled within about one
+// snapshot's evaluation time) and supports checkpoint/resume through
+// cfg.Sink; an iteration's checkpoint row is its raw accumulator state.
+func EvaluateStructure(ctx context.Context, net Network, cfg RunConfig, radius float64) (StructureResult, error) {
 	if err := net.Validate(); err != nil {
 		return StructureResult{}, err
 	}
@@ -79,9 +112,9 @@ func EvaluateStructure(net Network, cfg RunConfig, radius float64) (StructureRes
 
 	accs := make([]iterAcc, cfg.Iterations)
 
-	err := forEachIteration(cfg, func(iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) error {
+	err := forEachIteration(ctx, cfg, func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error) {
 		acc := &accs[iter]
-		return runTrajectory(net, cfg.Steps, inner, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, rng, ws,
 			func() *structSnap { return &structSnap{} },
 			func(_ int, pts []geom.Point, ws *graph.Workspace, out *structSnap) {
 				g := ws.PointGraph(pts, net.Region.Dim, radius)
@@ -132,6 +165,20 @@ func EvaluateStructure(net Network, cfg RunConfig, radius float64) (StructureRes
 					acc.biconnected++
 				}
 			})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Sink == nil {
+			return nil, nil
+		}
+		return acc.encode(make([]float64, 0, iterAccWidth)), nil
+	}, func(iter int, row []float64) error {
+		if len(row) != iterAccWidth {
+			return fmt.Errorf("core: checkpoint row for iteration %d has %d values, want %d",
+				iter, len(row), iterAccWidth)
+		}
+		accs[iter].decode(row)
+		return nil
 	})
 	if err != nil {
 		return StructureResult{}, err

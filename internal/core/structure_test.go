@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestEvaluateStructureDegenerateRadii(t *testing.T) {
 
 	// At radius 0 everything is isolated: degree 0, no biconnectivity... in
 	// fact a graph of isolated nodes has no connected pairs at all.
-	res, err := EvaluateStructure(net, cfg, 0)
+	res, err := EvaluateStructure(context.Background(), net, cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestEvaluateStructureDegenerateRadii(t *testing.T) {
 
 	// At the diameter the graph is complete: degree n-1, diameter 1,
 	// biconnected, no articulation points.
-	res, err = EvaluateStructure(net, cfg, net.Region.Diameter())
+	res, err = EvaluateStructure(context.Background(), net, cfg, net.Region.Diameter())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestEvaluateStructureMonotoneDegree(t *testing.T) {
 	cfg := RunConfig{Iterations: 2, Steps: 20, Seed: 5}
 	prev := -1.0
 	for _, r := range []float64{20, 60, 120, 250} {
-		res, err := EvaluateStructure(net, cfg, r)
+		res, err := EvaluateStructure(context.Background(), net, cfg, r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,29 +67,29 @@ func TestEvaluateStructureMonotoneDegree(t *testing.T) {
 func TestEvaluateStructureValidation(t *testing.T) {
 	net := testNetwork(100, 10, mobility.Stationary{})
 	cfg := RunConfig{Iterations: 1, Steps: 1, Seed: 1}
-	if _, err := EvaluateStructure(net, cfg, -1); err == nil {
+	if _, err := EvaluateStructure(context.Background(), net, cfg, -1); err == nil {
 		t.Error("negative radius accepted")
 	}
-	if _, err := EvaluateStructure(net, cfg, math.NaN()); err == nil {
+	if _, err := EvaluateStructure(context.Background(), net, cfg, math.NaN()); err == nil {
 		t.Error("NaN radius accepted")
 	}
-	if _, err := EvaluateStructure(net, RunConfig{}, 1); err == nil {
+	if _, err := EvaluateStructure(context.Background(), net, RunConfig{}, 1); err == nil {
 		t.Error("bad config accepted")
 	}
 	bad := net
 	bad.Model = mobility.Drunkard{M: -1}
-	if _, err := EvaluateStructure(bad, cfg, 1); err == nil {
+	if _, err := EvaluateStructure(context.Background(), bad, cfg, 1); err == nil {
 		t.Error("bad model accepted")
 	}
 }
 
 func TestEvaluateStructureDeterministicAcrossWorkers(t *testing.T) {
 	net := testNetwork(256, 14, quickWaypoint(256))
-	a, err := EvaluateStructure(net, RunConfig{Iterations: 4, Steps: 15, Seed: 9, Workers: 1}, 100)
+	a, err := EvaluateStructure(context.Background(), net, RunConfig{Iterations: 4, Steps: 15, Seed: 9, Workers: 1}, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EvaluateStructure(net, RunConfig{Iterations: 4, Steps: 15, Seed: 9, Workers: 4}, 100)
+	b, err := EvaluateStructure(context.Background(), net, RunConfig{Iterations: 4, Steps: 15, Seed: 9, Workers: 4}, 100)
 	if err != nil {
 		t.Fatal(err)
 	}

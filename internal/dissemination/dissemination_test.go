@@ -1,6 +1,7 @@
 package dissemination
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestMobilityFerriesDataBelowConnectivityRange(t *testing.T) {
 	// everyone under mobility given time.
 	const l = 400.0
 	const n = 16
-	rs, err := core.RStationary(geom.MustRegion(l, 2), n, 400, 1, 0, 0.99)
+	rs, err := core.RStationary(context.Background(), geom.MustRegion(l, 2), n, 400, 1, 0, 0.99)
 	if err != nil {
 		t.Fatal(err)
 	}

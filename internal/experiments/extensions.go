@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"adhocnet/internal/core"
@@ -146,7 +147,7 @@ func extQuantileExperiment() Experiment {
 				Seed:       p.seedFor("ext-quantile/mobile"),
 				Workers:    p.Workers,
 			}
-			est, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
+			est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 			if err != nil {
 				return nil, err
 			}
@@ -154,7 +155,7 @@ func extQuantileExperiment() Experiment {
 			title := fmt.Sprintf("r_stationary quantile sensitivity (l=%v, n=%d)", l, n)
 			table := report.NewTable(title, "quantile", "r_stationary", "r100/r_stationary")
 			for _, q := range []float64{0.90, 0.95, 0.99} {
-				rs, err := core.RStationary(reg, n, p.StationarySamples,
+				rs, err := core.RStationary(context.Background(), reg, n, p.StationarySamples,
 					p.seedFor("ext-quantile/stationary"), p.Workers, q)
 				if err != nil {
 					return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"adhocnet/internal/bidim"
@@ -56,7 +57,7 @@ func extStructureExperiment() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				res, err := core.EvaluateStructure(net, cfg, est.Mean)
+				res, err := core.EvaluateStructure(context.Background(), net, cfg, est.Mean)
 				if err != nil {
 					return nil, err
 				}
@@ -111,7 +112,7 @@ func extTwoDimTheoryExperiment() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				sim, err := core.RStationary(reg, n, p.StationarySamples,
+				sim, err := core.RStationary(context.Background(), reg, n, p.StationarySamples,
 					p.seedFor(fmt.Sprintf("ext-2dtheory/%v", l)), p.Workers, p.StationaryQuantile)
 				if err != nil {
 					return nil, err
@@ -167,7 +168,7 @@ func extMobilityQuantityExperiment() Experiment {
 			if err != nil {
 				return nil, err
 			}
-			rs, err := core.RStationary(reg, n, p.StationarySamples,
+			rs, err := core.RStationary(context.Background(), reg, n, p.StationarySamples,
 				p.seedFor("ext-quantity/stationary"), p.Workers, p.StationaryQuantile)
 			if err != nil {
 				return nil, err
@@ -201,7 +202,7 @@ func extMobilityQuantityExperiment() Experiment {
 					Seed:       p.seedFor("ext-quantity/" + c.name),
 					Workers:    p.Workers,
 				}
-				est, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
+				est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"adhocnet/internal/core"
@@ -109,7 +110,7 @@ func extDataMuleExperiment() Experiment {
 				Seed:       p.seedFor("ext-datamule/estimate"),
 				Workers:    p.Workers,
 			}
-			est, err := core.EstimateRanges(net, cfg,
+			est, err := core.EstimateRanges(context.Background(), net, cfg,
 				core.RangeTargets{TimeFractions: []float64{0.9, 0.1, 0}})
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"adhocnet/internal/core"
@@ -37,7 +38,7 @@ func runSizeSweep(p Preset, model modelForSide, label string) ([]sweepPoint, err
 			return nil, err
 		}
 		n := nodesForSide(l)
-		rs, err := core.RStationary(reg, n, p.StationarySamples,
+		rs, err := core.RStationary(context.Background(), reg, n, p.StationarySamples,
 			p.seedFor(label+"/stationary"), p.Workers, p.StationaryQuantile)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: r_stationary at l=%v: %w", l, err)
@@ -49,7 +50,7 @@ func runSizeSweep(p Preset, model modelForSide, label string) ([]sweepPoint, err
 			Seed:       p.seedFor(fmt.Sprintf("%s/l=%v", label, l)),
 			Workers:    p.Workers,
 		}
-		est, err := core.EstimateRanges(net, cfg, core.PaperTargets())
+		est, err := core.EstimateRanges(context.Background(), net, cfg, core.PaperTargets())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: range estimation at l=%v: %w", l, err)
 		}
@@ -179,7 +180,7 @@ func largestComponentFigure(id, title, label string, p Preset, model modelForSid
 			Seed:       p.seedFor(fmt.Sprintf("%s/eval/l=%v", label, pt.L)),
 			Workers:    p.Workers,
 		}
-		res, err := core.EvaluateFixedRanges(net, cfg, radii)
+		res, err := core.EvaluateFixedRanges(context.Background(), net, cfg, radii)
 		if err != nil {
 			return nil, err
 		}
@@ -308,7 +309,7 @@ func parameterSweep(p Preset, label string, values []float64, configure func(v f
 	if err != nil {
 		return nil, nil, err
 	}
-	rs, err := core.RStationary(reg, n, p.StationarySamples,
+	rs, err := core.RStationary(context.Background(), reg, n, p.StationarySamples,
 		p.seedFor(label+"/stationary"), p.Workers, p.StationaryQuantile)
 	if err != nil {
 		return nil, nil, err
@@ -326,7 +327,7 @@ func parameterSweep(p Preset, label string, values []float64, configure func(v f
 			Seed:       p.seedFor(fmt.Sprintf("%s/v=%v", label, v)),
 			Workers:    p.Workers,
 		}
-		est, err := core.EstimateRanges(net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
+		est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io/fs"
 	"reflect"
@@ -69,11 +70,11 @@ func TestScenarioReExpressionMatchesPresetPath(t *testing.T) {
 			t.Fatalf("%s: targets %+v are not the paper targets", c.file, sc.Targets)
 		}
 
-		presetEst, err := core.EstimateRanges(wantNet, wantCfg, core.PaperTargets())
+		presetEst, err := core.EstimateRanges(context.Background(), wantNet, wantCfg, core.PaperTargets())
 		if err != nil {
 			t.Fatal(err)
 		}
-		scEst, err := core.EstimateRanges(sc.Network, sc.Config, sc.Targets)
+		scEst, err := core.EstimateRanges(context.Background(), sc.Network, sc.Config, sc.Targets)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,12 +105,12 @@ func TestScenarioReproducesFig2ReportRow(t *testing.T) {
 	got := res.Tables[0].Rows[0]
 
 	sc := loadEmbeddedScenario(t, "paper-fig2-waypoint-l256.json")
-	rs, err := core.RStationary(sc.Network.Region, sc.Network.Nodes, p.StationarySamples,
+	rs, err := core.RStationary(context.Background(), sc.Network.Region, sc.Network.Nodes, p.StationarySamples,
 		p.seedFor("fig2/stationary"), p.Workers, p.StationaryQuantile)
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := core.EstimateRanges(sc.Network, sc.Config, sc.Targets)
+	est, err := core.EstimateRanges(context.Background(), sc.Network, sc.Config, sc.Targets)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io/fs"
 	"sort"
@@ -62,7 +63,7 @@ func extScenariosExperiment() Experiment {
 				}
 				cfg.Workers = p.Workers
 				start := time.Now()
-				est, err := core.EstimateRanges(sc.Network, cfg,
+				est, err := core.EstimateRanges(context.Background(), sc.Network, cfg,
 					core.RangeTargets{TimeFractions: []float64{1, 0.9}})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s: %w", file, err)

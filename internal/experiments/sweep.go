@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -52,7 +53,7 @@ func extSweepExperiment() Experiment {
 						Workers:    p.Workers,
 					}
 					start := time.Now()
-					est, err := core.EstimateRanges(net, cfg,
+					est, err := core.EstimateRanges(context.Background(), net, cfg,
 						core.RangeTargets{TimeFractions: []float64{1, 0.9}})
 					if err != nil {
 						return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -130,7 +131,7 @@ func t2Experiment() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				criticals, err := core.StationaryCriticalSample(region, n, p.StationarySamples,
+				criticals, err := core.StationaryCriticalSample(context.Background(), region, n, p.StationarySamples,
 					p.seedFor(fmt.Sprintf("t2/l=%v", l)), p.Workers)
 				if err != nil {
 					return nil, err

@@ -1,0 +1,147 @@
+// Package faultinject is the deterministic fault-injection harness of the
+// run lifecycle. The simulator's hot paths call Fire at a small set of named
+// injection points; when no plan is active the call is a single atomic load,
+// and when a test activates a plan, rules matched by exact (point, iteration,
+// step) coordinates execute an injected action — panic an evaluator, stall
+// the producer, cancel the run context — at a precisely reproducible moment.
+//
+// Determinism is the point: because the simulator derives every iteration's
+// random stream from the master seed, "kill the run while evaluating
+// snapshot 7 of iteration 3" is a perfectly repeatable event, which lets the
+// chaos tests assert that an interrupted-checkpointed-resumed run is
+// bit-identical to an uninterrupted one instead of merely "close".
+//
+// The package also hosts the file-corruption helpers (Truncate, FlipByte)
+// the checkpoint chaos tests use to model torn and corrupted checkpoint
+// writes.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site in the simulator.
+type Point string
+
+// The injection points wired into internal/core. Coordinates are
+// (iteration, step); step is -1 at points outside snapshot evaluation.
+const (
+	// IterationStart fires on an outer worker immediately before an
+	// iteration's trajectory is simulated (step is always -1).
+	IterationStart Point = "core/iteration-start"
+	// ProducerStep fires on the trajectory producer immediately before the
+	// mobility model advances to the given step (never fires for step 0,
+	// which is the initial placement).
+	ProducerStep Point = "core/producer-step"
+	// EvalSnapshot fires on a snapshot evaluator immediately before the
+	// given step's positions are evaluated.
+	EvalSnapshot Point = "core/eval-snapshot"
+)
+
+// Any is the wildcard coordinate: a rule with Iter or Step set to Any
+// matches every iteration or step at its point.
+const Any = -1
+
+// Info describes one firing of an injection point.
+type Info struct {
+	Point Point
+	Iter  int
+	Step  int
+}
+
+// Rule matches one injection point at exact (or wildcard) coordinates and
+// runs an action when it fires. Actions run synchronously on the simulator
+// goroutine that hit the point, so a panicking action is indistinguishable
+// from a genuine bug at that site.
+type Rule struct {
+	Point Point
+	Iter  int
+	Step  int
+	Do    func(Info)
+
+	fired atomic.Int64
+}
+
+// Fired reports how many times the rule has fired since activation.
+func (r *Rule) Fired() int { return int(r.fired.Load()) }
+
+// At returns a rule that runs do at the given coordinates.
+func At(pt Point, iter, step int, do func(Info)) *Rule {
+	return &Rule{Point: pt, Iter: iter, Step: step, Do: do}
+}
+
+// PanicAt returns a rule that panics at the given coordinates, simulating a
+// crashed evaluator or producer.
+func PanicAt(pt Point, iter, step int) *Rule {
+	return At(pt, iter, step, func(in Info) {
+		panic(fmt.Sprintf("faultinject: injected panic at %s (iter %d, step %d)", in.Point, in.Iter, in.Step))
+	})
+}
+
+// StallAt returns a rule that sleeps for d at the given coordinates,
+// simulating a stalled producer or evaluator.
+func StallAt(pt Point, iter, step int, d time.Duration) *Rule {
+	return At(pt, iter, step, func(Info) { time.Sleep(d) })
+}
+
+// Plan is an immutable set of rules. Activate installs it process-wide.
+type Plan struct {
+	rules []*Rule
+}
+
+// NewPlan assembles a plan from rules.
+func NewPlan(rules ...*Rule) *Plan { return &Plan{rules: rules} }
+
+// Fired sums the fire counts of every rule registered at the point.
+func (p *Plan) Fired(pt Point) int {
+	n := 0
+	for _, r := range p.rules {
+		if r.Point == pt {
+			n += r.Fired()
+		}
+	}
+	return n
+}
+
+func (p *Plan) fire(pt Point, iter, step int) {
+	for _, r := range p.rules {
+		if r.Point != pt {
+			continue
+		}
+		if r.Iter != Any && r.Iter != iter {
+			continue
+		}
+		if r.Step != Any && r.Step != step {
+			continue
+		}
+		r.fired.Add(1)
+		if r.Do != nil {
+			r.Do(Info{Point: pt, Iter: iter, Step: step})
+		}
+	}
+}
+
+// active is the process-wide installed plan; nil means injection is off and
+// Fire is a single atomic load.
+var active atomic.Pointer[Plan]
+
+// Activate installs the plan and returns its deactivation function. Only one
+// plan may be active at a time (tests that inject faults cannot run in
+// parallel with each other); activating over a live plan panics, because the
+// overlap would make both tests' injections nondeterministic.
+func Activate(p *Plan) (deactivate func()) {
+	if !active.CompareAndSwap(nil, p) {
+		panic("faultinject: a plan is already active")
+	}
+	return func() { active.CompareAndSwap(p, nil) }
+}
+
+// Fire reports the coordinates to the active plan, if any. It is safe to
+// call from any goroutine and costs one atomic load when injection is off.
+func Fire(pt Point, iter, step int) {
+	if p := active.Load(); p != nil {
+		p.fire(pt, iter, step)
+	}
+}

@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFireWithoutPlanIsInert(t *testing.T) {
+	// Must not panic or block; this is the simulator's hot-path case.
+	Fire(EvalSnapshot, 0, 0)
+	Fire(ProducerStep, Any, Any)
+}
+
+func TestRuleMatching(t *testing.T) {
+	exact := At(EvalSnapshot, 2, 7, nil)
+	anyIter := At(EvalSnapshot, Any, 7, nil)
+	anyStep := At(EvalSnapshot, 2, Any, nil)
+	wildcard := At(EvalSnapshot, Any, Any, nil)
+	otherPoint := At(ProducerStep, Any, Any, nil)
+	plan := NewPlan(exact, anyIter, anyStep, wildcard, otherPoint)
+	defer Activate(plan)()
+
+	Fire(EvalSnapshot, 2, 7) // matches exact, anyIter, anyStep, wildcard
+	Fire(EvalSnapshot, 2, 8) // matches anyStep, wildcard
+	Fire(EvalSnapshot, 5, 7) // matches anyIter, wildcard
+	Fire(ProducerStep, 2, 7) // matches otherPoint only
+
+	for _, tc := range []struct {
+		name string
+		rule *Rule
+		want int
+	}{
+		{"exact", exact, 1},
+		{"any-iter", anyIter, 2},
+		{"any-step", anyStep, 2},
+		{"wildcard", wildcard, 3},
+		{"other-point", otherPoint, 1},
+	} {
+		if got := tc.rule.Fired(); got != tc.want {
+			t.Errorf("%s fired %d times, want %d", tc.name, got, tc.want)
+		}
+	}
+	if got := plan.Fired(EvalSnapshot); got != 8 {
+		t.Errorf("plan.Fired(EvalSnapshot) = %d, want 8", got)
+	}
+}
+
+func TestRuleAction(t *testing.T) {
+	var got []Info
+	rule := At(IterationStart, Any, Any, func(in Info) { got = append(got, in) })
+	defer Activate(NewPlan(rule))()
+	Fire(IterationStart, 3, -1)
+	if len(got) != 1 || got[0] != (Info{Point: IterationStart, Iter: 3, Step: -1}) {
+		t.Fatalf("action saw %+v", got)
+	}
+}
+
+func TestPanicAt(t *testing.T) {
+	defer Activate(NewPlan(PanicAt(EvalSnapshot, 1, 2)))()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "iter 1, step 2") {
+			t.Fatalf("panic value %v lacks coordinates", r)
+		}
+	}()
+	Fire(EvalSnapshot, 1, 2)
+}
+
+func TestStallAt(t *testing.T) {
+	const d = 20 * time.Millisecond
+	defer Activate(NewPlan(StallAt(ProducerStep, 0, 1, d)))()
+	start := time.Now()
+	Fire(ProducerStep, 0, 1)
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("stall lasted %v, want >= %v", elapsed, d)
+	}
+	start = time.Now()
+	Fire(ProducerStep, 0, 2) // no match: no stall
+	if elapsed := time.Since(start); elapsed > d {
+		t.Fatalf("non-matching fire stalled for %v", elapsed)
+	}
+}
+
+func TestActivateRejectsOverlap(t *testing.T) {
+	deactivate := Activate(NewPlan())
+	defer deactivate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping Activate did not panic")
+		}
+	}()
+	Activate(NewPlan())
+}
+
+func TestDeactivateTurnsInjectionOff(t *testing.T) {
+	rule := PanicAt(EvalSnapshot, Any, Any)
+	deactivate := Activate(NewPlan(rule))
+	deactivate()
+	Fire(EvalSnapshot, 0, 0) // must not panic
+	if rule.Fired() != 0 {
+		t.Fatal("rule fired after deactivation")
+	}
+	// Deactivating twice is harmless, and a new plan can activate after.
+	deactivate()
+	defer Activate(NewPlan())()
+}
+
+func TestTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Truncate(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0123" {
+		t.Fatalf("truncated file holds %q", data)
+	}
+	if err := Truncate(path, 100); err == nil {
+		t.Fatal("truncating beyond the file size should fail")
+	}
+	if err := Truncate(filepath.Join(t.TempDir(), "nope"), 0); err == nil {
+		t.Fatal("truncating a missing file should fail")
+	}
+}
+
+func TestFlipByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte{0x00, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipByte(path, 1, 0x0f); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 0x00 || data[1] != 0xf0 {
+		t.Fatalf("file holds % x", data)
+	}
+	if err := FlipByte(path, 5, 0x01); err == nil {
+		t.Fatal("offset beyond the file should fail")
+	}
+	if err := FlipByte(path, 0, 0); err == nil {
+		t.Fatal("zero mask should fail (it would be a no-op corruption)")
+	}
+}

@@ -1,0 +1,38 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+)
+
+// Truncate rewrites the file to its first keep bytes, modeling a torn write
+// (a crash between a checkpoint's temp-file write and its rename cannot
+// produce this — the rename is atomic — but a corrupted disk or a copy of a
+// live temp file can).
+func Truncate(path string, keep int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if keep < 0 || keep > len(data) {
+		return fmt.Errorf("faultinject: truncate %s to %d bytes, have %d", path, keep, len(data))
+	}
+	return os.WriteFile(path, data[:keep], 0o644)
+}
+
+// FlipByte XORs the byte at offset with mask (mask 0 is rejected: it would
+// be a no-op corruption), modeling silent bit rot in a stored checkpoint.
+func FlipByte(path string, offset int, mask byte) error {
+	if mask == 0 {
+		return fmt.Errorf("faultinject: flip mask must be non-zero")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if offset < 0 || offset >= len(data) {
+		return fmt.Errorf("faultinject: flip offset %d outside file of %d bytes", offset, len(data))
+	}
+	data[offset] ^= mask
+	return os.WriteFile(path, data, 0o644)
+}

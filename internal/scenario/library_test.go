@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"io/fs"
 	"testing"
@@ -49,12 +50,12 @@ func TestScenarioLibraryValidAndRunnable(t *testing.T) {
 			cfg.Steps = 3
 		}
 		if len(sc.Radii) > 0 {
-			if _, err := core.EvaluateFixedRanges(sc.Network, cfg, sc.Radii); err != nil {
+			if _, err := core.EvaluateFixedRanges(context.Background(), sc.Network, cfg, sc.Radii); err != nil {
 				t.Errorf("%s: fixed-range smoke run: %v", file, err)
 			}
 		}
 		if len(sc.Targets.TimeFractions) > 0 || len(sc.Targets.ComponentFractions) > 0 {
-			if _, err := core.EstimateRanges(sc.Network, cfg, sc.Targets); err != nil {
+			if _, err := core.EstimateRanges(context.Background(), sc.Network, cfg, sc.Targets); err != nil {
 				t.Errorf("%s: range-estimation smoke run: %v", file, err)
 			}
 		}
@@ -79,11 +80,11 @@ func TestScenarioRunsWorkerInvariant(t *testing.T) {
 		var wantFixed, wantEst string
 		for _, workers := range []int{1, 3} {
 			cfg.Workers = workers
-			fixed, err := core.EvaluateFixedRange(sc.Network, cfg, radius)
+			fixed, err := core.EvaluateFixedRange(context.Background(), sc.Network, cfg, radius)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", file, workers, err)
 			}
-			est, err := core.EstimateRanges(sc.Network, cfg, targets)
+			est, err := core.EstimateRanges(context.Background(), sc.Network, cfg, targets)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", file, workers, err)
 			}

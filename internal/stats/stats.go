@@ -69,6 +69,20 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	a.n = total
 }
 
+// State returns the accumulator's raw internal state (count, running mean,
+// sum of squared deviations, min, max). Together with Restore it lets
+// checkpointing round-trip an accumulator bit-identically, which plain
+// re-observation could not (Welford's recurrence is order-sensitive).
+func (a *Accumulator) State() (n int64, mean, m2, min, max float64) {
+	return a.n, a.mean, a.m2, a.min, a.max
+}
+
+// Restore overwrites the accumulator with raw state previously obtained
+// from State.
+func (a *Accumulator) Restore(n int64, mean, m2, min, max float64) {
+	*a = Accumulator{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
 // N returns the number of observations.
 func (a *Accumulator) N() int64 { return a.n }
 
