@@ -141,18 +141,21 @@ func benchPlacement(n int) []geom.Point {
 	return reg.UniformPoints(xrand.New(1), n)
 }
 
-// BenchmarkSnapshotClustered guards the GeoMST/spatial-grid behavior on
-// non-uniform inputs against the uniform baseline at the same n and region:
-// the k-cluster placement packs 2048 nodes into 8 dense islands, the
-// adversarial density for a CSR cell grid tuned for uniform points (many
-// points per cell inside islands, long empty annulus sweeps between them).
-// Steady state must stay 0 allocs/op on both.
+// BenchmarkSnapshotClustered guards snapshot-profile behavior on non-uniform
+// inputs against the uniform baseline at the same n and region, across every
+// spatial backend: the k-cluster placement packs 2048 nodes into 8 dense
+// islands, the adversarial density for a CSR cell grid tuned for uniform
+// points (many points per cell inside islands, long empty annulus sweeps
+// between them) and the case the k-d tree backend exists for. The auto
+// backend must land on the winner of each placement, and steady state must
+// stay 0 allocs/op on every variant.
 func BenchmarkSnapshotClustered(b *testing.B) {
 	const n = 2048
 	side := 16384 * math.Sqrt(float64(n)/128)
 	reg := geom.MustRegion(side, 2)
-	run := func(b *testing.B, pts []geom.Point) {
+	run := func(b *testing.B, pts []geom.Point, backend spatial.Backend) {
 		ws := graph.NewWorkspace()
+		ws.SetSpatialBackend(backend)
 		ws.Profile(pts, 2) // warm the workspace buffers
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -160,15 +163,14 @@ func BenchmarkSnapshotClustered(b *testing.B) {
 			ws.Profile(pts, 2)
 		}
 	}
-	b.Run("clustered", func(b *testing.B) {
-		place := mobility.Clusters{Clusters: 8, Radius: 0.05 * side}
-		pts := make([]geom.Point, n)
-		place.Fill(xrand.New(1), reg, pts)
-		run(b, pts)
-	})
-	b.Run("uniform", func(b *testing.B) {
-		run(b, reg.UniformPoints(xrand.New(1), n))
-	})
+	place := mobility.Clusters{Clusters: 8, Radius: 0.05 * side}
+	clustered := make([]geom.Point, n)
+	place.Fill(xrand.New(1), reg, clustered)
+	uniform := reg.UniformPoints(xrand.New(1), n)
+	for _, backend := range []spatial.Backend{spatial.BackendAuto, spatial.BackendGrid, spatial.BackendKDTree} {
+		b.Run("clustered/"+backend.String(), func(b *testing.B) { run(b, clustered, backend) })
+		b.Run("uniform/"+backend.String(), func(b *testing.B) { run(b, uniform, backend) })
+	}
 }
 
 func BenchmarkDensePrimMSTN128(b *testing.B)  { benchDensePrim(b, 128) }

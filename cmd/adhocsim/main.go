@@ -17,7 +17,7 @@
 //	adhocsim -scenario scenarios/hotspot-city.json
 //
 // In scenario mode the network flags are ignored; -iters, -steps, -seed,
-// -workers and the lifecycle flags below still apply.
+// -workers, -spatial and the lifecycle flags below still apply.
 //
 // # Run lifecycle
 //
@@ -52,6 +52,7 @@ import (
 	"adhocnet/internal/core"
 	"adhocnet/internal/geom"
 	"adhocnet/internal/scenario"
+	"adhocnet/internal/spatial"
 )
 
 func main() {
@@ -104,6 +105,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		steps        = fs.Int("steps", 10000, "mobility steps per iteration (1 = stationary)")
 		seed         = fs.Uint64("seed", 1, "random seed")
 		workers      = fs.Int("workers", 0, "total simulation parallelism, split across iterations and snapshots (0 = all CPUs)")
+		spatialName  = fs.String("spatial", "auto", "spatial index backend: auto (per-snapshot heuristic), grid, kdtree — performance only, results are identical")
 		model        = fs.String("model", "waypoint",
 			"mobility model: "+strings.Join(registry.MobilityKinds(), ", "))
 		placement = fs.String("placement", "uniform",
@@ -130,6 +132,10 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	backend, err := spatial.ParseBackend(*spatialName)
+	if err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 	if *timeout > 0 {
@@ -160,12 +166,14 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 				sc.Config.Seed = *seed
 			case "workers":
 				sc.Config.Workers = *workers
+			case "spatial":
+				sc.Config.Spatial = backend
 			default:
 				ignored = append(ignored, "-"+f.Name)
 			}
 		})
 		if len(ignored) > 0 {
-			return fmt.Errorf("%w: flags %s have no effect with -scenario (the file defines the workload; only -iters, -steps, -seed, -workers, -per-iter and the lifecycle flags apply)",
+			return fmt.Errorf("%w: flags %s have no effect with -scenario (the file defines the workload; only -iters, -steps, -seed, -workers, -spatial, -per-iter and the lifecycle flags apply)",
 				errUsage, strings.Join(ignored, ", "))
 		}
 		if err := sc.Config.Validate(); err != nil {
@@ -202,10 +210,11 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *placement != "uniform" {
 		net.Placement = place
 	}
-	cfg := core.RunConfig{Iterations: *iters, Steps: *steps, Seed: *seed, Workers: *workers}
+	cfg := core.RunConfig{Iterations: *iters, Steps: *steps, Seed: *seed, Workers: *workers, Spatial: backend}
 	// Everything that affects results goes into the workload hash; Workers
-	// does not (the scheduler is worker-count invariant), so a run may be
-	// resumed at different parallelism.
+	// and Spatial do not (the scheduler is worker-count invariant and the
+	// spatial backend is bit-identical by construction), so a run may be
+	// resumed at different parallelism or with a different index.
 	lc.workload = fmt.Sprintf("flags|l=%g|d=%d|n=%d|model=%s|placement=%s|vmin=%g|vmax=%g|tpause=%d|pstationary=%g|ppause=%g|m=%g|steps=%d",
 		*l, *dim, *n, *model, *placement, *vmin, *vmax, *tpause, *pstationary, *ppause, *m, *steps)
 

@@ -368,3 +368,40 @@ func TestResumeWithoutFileRunsFresh(t *testing.T) {
 		t.Errorf("fresh -resume run produced no results:\n%s", out.String())
 	}
 }
+
+// TestSpatialFlag pins the -spatial contract: every named backend produces
+// byte-identical output (the backend is a pure performance knob), unknown
+// names are usage errors, and the flag is a legal scenario-mode override.
+func TestSpatialFlag(t *testing.T) {
+	base := []string{
+		"-l", "2048", "-n", "80", "-r", "300", "-placement", "clusters",
+		"-iters", "2", "-steps", "10", "-model", "waypoint",
+	}
+	var want string
+	for _, backend := range []string{"grid", "kdtree", "auto"} {
+		var out strings.Builder
+		args := append(append([]string{}, base...), "-spatial", backend)
+		if err := run(context.Background(), args, &out, io.Discard); err != nil {
+			t.Fatalf("-spatial %s: %v", backend, err)
+		}
+		if want == "" {
+			want = out.String()
+			continue
+		}
+		if out.String() != want {
+			t.Errorf("-spatial %s output differs from grid:\n%s", backend, out.String())
+		}
+	}
+	var out, errOut strings.Builder
+	if code := cliMain(append(append([]string{}, base...), "-spatial", "rtree"), &out, &errOut); code != 2 {
+		t.Fatalf("-spatial rtree: exit code %d, want 2 (usage error); stderr: %s", code, errOut.String())
+	}
+	out.Reset()
+	err := run(context.Background(), []string{
+		"-scenario", filepath.Join("..", "..", "scenarios", "hotspot-city.json"),
+		"-iters", "1", "-steps", "3", "-spatial", "kdtree",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("scenario-mode -spatial override rejected: %v", err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/mobility"
+	"adhocnet/internal/spatial"
 )
 
 // Network describes the simulated ad hoc network M_d = (N, P): node count,
@@ -75,6 +76,13 @@ type RunConfig struct {
 	// snapshots within each iteration (see Levels). Results are
 	// deterministic regardless of Workers.
 	Workers int
+	// Spatial selects the spatial-index backend for all pair scans: the zero
+	// value (spatial.BackendAuto) picks grid or k-d tree per snapshot from
+	// the sampled cell crowding, the others force one implementation. Like
+	// Workers this is a pure performance knob — both backends produce
+	// bit-identical results (cross-validated in the tests), so it is
+	// excluded from workload identity.
+	Spatial spatial.Backend
 	// Sink, when non-nil, enables checkpoint/resume at outer-iteration
 	// granularity: iterations the sink already holds are restored instead
 	// of simulated, and every newly completed iteration is committed to it
@@ -94,6 +102,9 @@ func (c RunConfig) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: negative workers %d", c.Workers)
+	}
+	if c.Spatial > spatial.BackendKDTree {
+		return fmt.Errorf("core: unknown spatial backend %d", c.Spatial)
 	}
 	return nil
 }

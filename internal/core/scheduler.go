@@ -10,6 +10,7 @@ import (
 	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/mobility"
+	"adhocnet/internal/spatial"
 	"adhocnet/internal/xrand"
 )
 
@@ -174,6 +175,7 @@ func forEachIteration(ctx context.Context, cfg RunConfig,
 		go func(inner int) {
 			defer wg.Done()
 			ws := graph.NewWorkspace()
+			ws.SetSpatialBackend(cfg.Spatial)
 			for iter := range next {
 				if runCtx.Err() != nil {
 					continue // canceled: drain the queue without simulating
@@ -278,7 +280,7 @@ func runTrajectory[R any](ctx context.Context, iter int, net Network, steps, inn
 		}
 		return nil
 	}
-	return runSnapshotPool(ctx, iter, state, net.Nodes, steps, inner, newSlot, eval, merge)
+	return runSnapshotPool(ctx, iter, state, net.Nodes, steps, inner, ws.SpatialBackend(), newSlot, eval, merge)
 }
 
 // posRings pools position-buffer rings across pooled-trajectory iterations,
@@ -329,6 +331,7 @@ func (r *posRing) resize(ring, nodes int) [][]geom.Point {
 // An evaluator that panicked abandons its pooled workspace instead of
 // releasing it (the panic may have left the workspace mid-update).
 func runSnapshotPool[R any](ctx context.Context, iter int, state mobility.State, nodes, steps, inner int,
+	backend spatial.Backend,
 	newSlot func() R,
 	eval func(step int, pts []geom.Point, ws *graph.Workspace, out R),
 	merge func(step int, out R),
@@ -404,6 +407,10 @@ func runSnapshotPool[R any](ctx context.Context, iter int, state mobility.State,
 		go func() {
 			defer wg.Done()
 			ws := graph.AcquireWorkspace()
+			// The snapshot pool inherits the run's spatial policy; the
+			// backend cannot affect results (see RunConfig.Spatial), so the
+			// pool's ordered-reduction determinism is untouched.
+			ws.SetSpatialBackend(backend)
 			healthy := true
 			defer func() {
 				if healthy {

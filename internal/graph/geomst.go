@@ -154,14 +154,48 @@ func (ws *Workspace) GeoMST(pts []geom.Point, dim int) []Edge {
 		}
 	}
 
+	// The backend is resolved once per MST at the starting radius. The k-d
+	// tree is radius-free — built once here — and its rounds use
+	// MinPairsByLabel: only the minimal candidate per component pair inside
+	// the annulus, which is exactly the subset of the full enumeration that
+	// Kruskal can ever accept (every other candidate between the same
+	// components sorts after that minimum and finds its endpoints already
+	// united). The grid path keeps the full annulus enumeration. Both feed
+	// the replay the same accepted-edge sequence, so the backend cannot
+	// change the tree — it removes the clustered placements' quadratic trap,
+	// where bridging rounds between k-point islands enumerate and sort k^2
+	// cross pairs to use one.
+	useTree := ws.resolveBackend(pts, dim, r) == spatial.BackendKDTree
+	if useTree {
+		ws.kd.Rebuild(pts, dim)
+		// Start the rounds well below the global mean spacing: the tree is
+		// picked for placements whose dense regions sit far above the global
+		// density, and rounds only dedup candidates between components that
+		// already exist — entering a dense region at its own spacing lets
+		// its components coalesce in cheap small annuli before the annulus
+		// that covers the whole region arrives. Any starting radius is
+		// exact (the annuli stay disjoint and increasing); this one only
+		// adds three near-empty rounds when the placement is uniform after
+		// all. The grid keeps the global scale, where its cells are sized.
+		r /= 8
+	}
+
 	// The first round must admit d2 == 0 (coincident points), so the
 	// initial exclusion bound sits below every squared distance.
 	prevR2 := -1.0
 	for ws.uf.Count() > 1 {
 		ws.cand = ws.cand[:0]
 		ws.batchPrevR2 = prevR2
-		ws.ix.Rebuild(pts, dim, r)
-		ws.ix.ForEachPairWithin(r, ws.batchVisitor)
+		if useTree {
+			ws.labels = growInt32(ws.labels, n)
+			for i := range ws.labels {
+				ws.labels[i] = ws.uf.Find(int32(i))
+			}
+			ws.kd.MinPairsByLabel(ws.labels, prevR2, r, ws.batchVisitor)
+		} else {
+			ws.ix.Rebuild(pts, dim, r)
+			ws.ix.ForEachPairWithin(r, ws.batchVisitor)
+		}
 		sortCandidates(ws.cand)
 		for _, c := range ws.cand {
 			if ws.uf.Union(c.i, c.j) {

@@ -27,6 +27,14 @@ var workspacePool = sync.Pool{New: func() any { return NewWorkspace() }}
 type Workspace struct {
 	uf UnionFind
 	ix spatial.Index
+	kd spatial.KDTree
+
+	// backend is the spatial-index policy for this workspace's pair scans:
+	// BackendAuto (the default) picks grid or k-d tree per snapshot from the
+	// sampled cell crowding, the others force one implementation. Both
+	// backends visit identical pair sets with identical squared distances,
+	// so the policy changes performance only — never results.
+	backend spatial.Backend
 
 	edges []Edge       // MST / point-graph edge buffer
 	cand  []candidate  // filtered Kruskal: current annulus batch
@@ -63,8 +71,30 @@ func AcquireWorkspace() *Workspace { return workspacePool.Get().(*Workspace) }
 
 // ReleaseWorkspace returns a workspace obtained from AcquireWorkspace to the
 // package pool. The caller must not use ws (or anything a ws method returned)
-// afterwards.
-func ReleaseWorkspace(ws *Workspace) { workspacePool.Put(ws) }
+// afterwards. The spatial-backend policy is reset so the next acquirer starts
+// from the auto default.
+func ReleaseWorkspace(ws *Workspace) {
+	ws.backend = spatial.BackendAuto
+	workspacePool.Put(ws)
+}
+
+// SetSpatialBackend sets the workspace's spatial-index policy. The zero
+// value, BackendAuto, selects grid or k-d tree per snapshot; forcing a
+// backend is for benchmarks and cross-validation, since results are
+// bit-identical either way.
+func (ws *Workspace) SetSpatialBackend(b spatial.Backend) { ws.backend = b }
+
+// SpatialBackend reports the workspace's spatial-index policy.
+func (ws *Workspace) SpatialBackend() spatial.Backend { return ws.backend }
+
+// resolveBackend turns the workspace policy into a concrete backend for one
+// snapshot at query radius r.
+func (ws *Workspace) resolveBackend(pts []geom.Point, dim int, r float64) spatial.Backend {
+	if ws.backend != spatial.BackendAuto {
+		return ws.backend
+	}
+	return spatial.ChooseBackend(pts, dim, r)
+}
 
 // Points returns the workspace's placement scratch buffer resized to n
 // points (contents unspecified). Samplers that draw one placement per
@@ -126,9 +156,13 @@ func (ws *Workspace) PointGraph(pts []geom.Point, dim int, r float64) *Adjacency
 				ws.edges = append(ws.edges, Edge{I: int32(i), J: int32(j), D: math.Sqrt(d2)})
 			}
 		}
-		if r == 0 {
+		switch {
+		case r == 0:
 			spatial.BruteForcePairsWithin(pts, 0, ws.edgeVisitor)
-		} else {
+		case ws.resolveBackend(pts, dim, r) == spatial.BackendKDTree:
+			ws.kd.Rebuild(pts, dim)
+			ws.kd.ForEachPairWithin(r, ws.edgeVisitor)
+		default:
 			ws.ix.Rebuild(pts, dim, r)
 			ws.ix.ForEachPairWithin(r, ws.edgeVisitor)
 		}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/spatial"
+	"adhocnet/internal/xrand"
+)
+
+// backendPlacements returns the placement shapes the backend choice has to
+// be invisible on: uniform (grid territory), islands (tree territory), and
+// a hotspot mix, at sizes straddling the auto-selection minimum.
+func backendPlacements(rng *xrand.Rand) map[string][]geom.Point {
+	reg := geom.MustRegion(8192, 2)
+	islands := func(clusters, per int, radius float64) []geom.Point {
+		var pts []geom.Point
+		for c := 0; c < clusters; c++ {
+			center := reg.UniformPoint(rng)
+			for i := 0; i < per; i++ {
+				pts = append(pts, reg.Clamp(reg.UniformInBall(rng, center, radius)))
+			}
+		}
+		return pts
+	}
+	return map[string][]geom.Point{
+		"uniform_small": reg.UniformPoints(rng, 64),
+		"uniform_large": reg.UniformPoints(rng, 600),
+		"islands":       islands(8, 64, 60),
+		"hotspots":      append(islands(4, 100, 120), reg.UniformPoints(rng, 100)...),
+	}
+}
+
+// TestProfileBitIdenticalAcrossBackends is the core cross-validation of the
+// adaptive indexing: the connectivity profile — the quantity every paper
+// metric derives from — must be bit-identical whichever backend computes it.
+func TestProfileBitIdenticalAcrossBackends(t *testing.T) {
+	rng := xrand.New(41)
+	for name, pts := range backendPlacements(rng) {
+		wsGrid, wsTree, wsAuto := NewWorkspace(), NewWorkspace(), NewWorkspace()
+		wsGrid.SetSpatialBackend(spatial.BackendGrid)
+		wsTree.SetSpatialBackend(spatial.BackendKDTree)
+		wsAuto.SetSpatialBackend(spatial.BackendAuto)
+		want := wsGrid.Profile(pts, 2)
+		t.Run(name+"/kdtree", func(t *testing.T) {
+			profilesIdentical(t, want, wsTree.Profile(pts, 2))
+		})
+		t.Run(name+"/auto", func(t *testing.T) {
+			profilesIdentical(t, want, wsAuto.Profile(pts, 2))
+		})
+	}
+}
+
+// TestPointGraphBitIdenticalAcrossBackends checks the fixed-range graph
+// metrics (the EvaluateStructure surface) across backends: same degree
+// stats, same components, same hop structure, same articulation counts.
+func TestPointGraphBitIdenticalAcrossBackends(t *testing.T) {
+	rng := xrand.New(43)
+	for name, pts := range backendPlacements(rng) {
+		for _, r := range []float64{50, 400, 2000} {
+			summaries := make(map[spatial.Backend]string)
+			for _, b := range []spatial.Backend{spatial.BackendGrid, spatial.BackendKDTree, spatial.BackendAuto} {
+				ws := NewWorkspace()
+				ws.SetSpatialBackend(b)
+				a := ws.PointGraph(pts, 2, r)
+				comps, largest := ws.ComponentSummary(a)
+				summaries[b] = fmt.Sprintf("%d|%d|%+v|%+v|%d|%v",
+					comps, largest, a.DegreeStats(), a.HopStats(),
+					len(a.ArticulationPoints()), a.IsBiconnected())
+			}
+			if summaries[spatial.BackendKDTree] != summaries[spatial.BackendGrid] {
+				t.Fatalf("%s r=%v: kdtree metrics differ from grid:\n%s\n%s",
+					name, r, summaries[spatial.BackendKDTree], summaries[spatial.BackendGrid])
+			}
+			if summaries[spatial.BackendAuto] != summaries[spatial.BackendGrid] {
+				t.Fatalf("%s r=%v: auto metrics differ from grid:\n%s\n%s",
+					name, r, summaries[spatial.BackendAuto], summaries[spatial.BackendGrid])
+			}
+		}
+	}
+}
+
+// TestWorkspaceBackendPolicyLifecycle pins the pool contract: a released
+// workspace hands the next acquirer the auto default, not a leaked forced
+// backend from its previous owner.
+func TestWorkspaceBackendPolicyLifecycle(t *testing.T) {
+	ws := AcquireWorkspace()
+	if got := ws.SpatialBackend(); got != spatial.BackendAuto {
+		t.Fatalf("fresh workspace backend = %v, want auto", got)
+	}
+	ws.SetSpatialBackend(spatial.BackendKDTree)
+	ReleaseWorkspace(ws)
+	ws = AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	if got := ws.SpatialBackend(); got != spatial.BackendAuto {
+		t.Fatalf("pooled workspace backend = %v after release, want auto", got)
+	}
+}
+
+// TestWorkspaceTreeBackendSteadyStateAllocs extends the zero-alloc guarantee
+// to the forced-tree and auto paths on a clustered placement (the shape that
+// actually routes to the tree).
+func TestWorkspaceTreeBackendSteadyStateAllocs(t *testing.T) {
+	rng := xrand.New(47)
+	reg := geom.MustRegion(16384, 2)
+	placements := make([][]geom.Point, 8)
+	for i := range placements {
+		var pts []geom.Point
+		for c := 0; c < 8; c++ {
+			center := reg.UniformPoint(rng)
+			for k := 0; k < 64; k++ {
+				pts = append(pts, reg.Clamp(reg.UniformInBall(rng, center, 200)))
+			}
+		}
+		placements[i] = pts
+	}
+	for _, b := range []spatial.Backend{spatial.BackendKDTree, spatial.BackendAuto} {
+		ws := NewWorkspace()
+		ws.SetSpatialBackend(b)
+		for _, pts := range placements {
+			ws.Profile(pts, 2)
+			ws.PointGraph(pts, 2, 300)
+		}
+		i := 0
+		avg := testing.AllocsPerRun(32, func() {
+			ws.Profile(placements[i%len(placements)], 2)
+			ws.PointGraph(placements[i%len(placements)], 2, 300)
+			i++
+		})
+		if avg > 0.5 {
+			t.Fatalf("backend %v: steady state allocates %v allocs/op, want 0", b, avg)
+		}
+	}
+}

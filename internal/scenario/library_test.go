@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io/fs"
+	"strings"
 	"testing"
 
 	"adhocnet"
 	"adhocnet/internal/core"
+	"adhocnet/internal/report"
+	"adhocnet/internal/spatial"
 )
 
 // libraryScenarios builds every file of the embedded scenarios/ directory.
@@ -103,6 +106,72 @@ func TestScenarioRunsWorkerInvariant(t *testing.T) {
 			if gotEst != wantEst {
 				t.Errorf("%s: estimates depend on workers:\n1: %s\n%d: %s",
 					file, wantEst, workers, gotEst)
+			}
+		}
+	}
+}
+
+// TestClusteredScenariosBackendInvariant runs the two non-uniform library
+// workloads that trigger the k-d tree under the auto heuristic through every
+// spatial backend and every worker split, and demands bit-identical
+// formatted report rows: the exact strings a scenario sweep would print.
+// The backend is a performance policy, never a result policy.
+func TestClusteredScenariosBackendInvariant(t *testing.T) {
+	lib := libraryScenarios(t)
+	targets := core.RangeTargets{TimeFractions: []float64{1, 0.9}}
+	backends := []spatial.Backend{spatial.BackendGrid, spatial.BackendKDTree, spatial.BackendAuto}
+	for _, file := range []string{"scenarios/clustered-sensorfield.json", "scenarios/hotspot-city.json"} {
+		sc, ok := lib[file]
+		if !ok {
+			t.Fatalf("%s missing from embedded library", file)
+		}
+		cfg := sc.Config
+		cfg.Iterations = 2
+		cfg.Steps = 6
+		radius := 0.3 * sc.Network.Region.L
+		var wantRow, wantFixed string
+		for _, backend := range backends {
+			for _, workers := range []int{1, 3} {
+				cfg.Spatial = backend
+				cfg.Workers = workers
+				est, err := core.EstimateRanges(context.Background(), sc.Network, cfg, targets)
+				if err != nil {
+					t.Fatalf("%s %s workers=%d: %v", file, backend, workers, err)
+				}
+				fixed, err := core.EvaluateFixedRange(context.Background(), sc.Network, cfg, radius)
+				if err != nil {
+					t.Fatalf("%s %s workers=%d: %v", file, backend, workers, err)
+				}
+				r100, err := est.TimeFraction(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r90, err := est.TimeFraction(0.9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The same cells extScenariosExperiment prints for this row,
+				// minus the wall-clock column.
+				row := strings.Join([]string{
+					sc.Spec.Name,
+					sc.Network.Model.Name(),
+					sc.PlacementName(),
+					report.FormatFloat(r100.Mean),
+					report.FormatFloat(r90.Mean),
+				}, " | ")
+				gotFixed := fmt.Sprintf("%+v", fixed)
+				if wantRow == "" {
+					wantRow, wantFixed = row, gotFixed
+					continue
+				}
+				if row != wantRow {
+					t.Errorf("%s: report row depends on backend/workers (%s, %d):\nwant %s\ngot  %s",
+						file, backend, workers, wantRow, row)
+				}
+				if gotFixed != wantFixed {
+					t.Errorf("%s: fixed-range result depends on backend/workers (%s, %d)",
+						file, backend, workers)
+				}
 			}
 		}
 	}

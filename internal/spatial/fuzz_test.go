@@ -1,6 +1,7 @@
 package spatial
 
 import (
+	"math"
 	"slices"
 	"testing"
 
@@ -66,6 +67,130 @@ func FuzzSpatialIndexNeighbors(f *testing.F) {
 			if got[k] != want[k] {
 				t.Fatalf("pair %d differs: grid %+v, brute force %+v (n=%d, r=%v)",
 					k, got[k], want[k], len(pts), r)
+			}
+		}
+	})
+}
+
+// FuzzKDTreeMatchesGrid checks the k-d tree against both the grid and the
+// brute-force reference on the full backend surface: pairs-within, the
+// annulus query (floor derived from the radius so coincident-distance edge
+// cases land exactly on the boundary), and nearest-neighbor distances, which
+// must be bitwise identical across backends. The shared decoder produces
+// 1D/2D/3D, coincident and tie-heavy point sets.
+func FuzzKDTreeMatchesGrid(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 0, 0, 16, 0, 16, 0}) // zero radius, coincident points
+	f.Add([]byte{16, 0, 0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0}) // 1D line
+	seed := []byte{64, 1, 1} // r = 356/16, dim 2: clustered-ish quantized cloud
+	for i := 0; i < 80; i++ {
+		x := uint16(i * 40503)
+		seed = append(seed, byte(x), byte(x>>8), byte(x>>7), byte(x>>2))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		r := float64(uint16(data[0])|uint16(data[1])<<8) / 16
+		pts, dim := geomtest.DecodeFuzzPoints(data[2:], 120)
+		tree := NewKDTree(pts, dim)
+		var fromTree, fromGrid, fromBrute []pairRec
+		tree.ForEachPairWithin(r, func(i, j int, d2 float64) {
+			fromTree = append(fromTree, pairRec{i, j, d2})
+		})
+		PairsWithin(pts, dim, r, func(i, j int, d2 float64) {
+			fromGrid = append(fromGrid, pairRec{i, j, d2})
+		})
+		BruteForcePairsWithin(pts, r, func(i, j int, d2 float64) {
+			fromBrute = append(fromBrute, pairRec{i, j, d2})
+		})
+		slices.SortFunc(fromTree, cmpPairRec)
+		slices.SortFunc(fromGrid, cmpPairRec)
+		slices.SortFunc(fromBrute, cmpPairRec)
+		if !slices.Equal(fromTree, fromGrid) || !slices.Equal(fromTree, fromBrute) {
+			t.Fatalf("pair sets differ: tree %d, grid %d, brute %d (n=%d, dim=%d, r=%v)",
+				len(fromTree), len(fromGrid), len(fromBrute), len(pts), dim, r)
+		}
+		// Annulus with the floor at r/2: every pair in (r/2, r] and nothing
+		// below or at the floor.
+		lo2 := (r / 2) * (r / 2)
+		var annulus []pairRec
+		tree.ForEachPairInAnnulus(lo2, r, func(i, j int, d2 float64) {
+			annulus = append(annulus, pairRec{i, j, d2})
+		})
+		slices.SortFunc(annulus, cmpPairRec)
+		var wantAnnulus []pairRec
+		for _, p := range fromBrute {
+			if p.d2 > lo2 {
+				wantAnnulus = append(wantAnnulus, p)
+			}
+		}
+		if !slices.Equal(annulus, wantAnnulus) {
+			t.Fatalf("annulus (%v, %v] differs: tree %d pairs, brute %d pairs (n=%d)",
+				r/2, r, len(annulus), len(wantAnnulus), len(pts))
+		}
+		// Nearest-neighbor distances must be bitwise identical to the grid
+		// path, +Inf singletons included.
+		nnTree := tree.NearestNeighborDistancesInto(make([]float64, len(pts)), pts)
+		nnGrid := NearestNeighborDistances(pts)
+		for i := range nnTree {
+			if math.Float64bits(nnTree[i]) != math.Float64bits(nnGrid[i]) {
+				t.Fatalf("nn[%d]: tree %v, grid %v (n=%d, dim=%d)",
+					i, nnTree[i], nnGrid[i], len(pts), dim)
+			}
+		}
+		// MinPairsByLabel (the MST rounds' query) against its brute
+		// reference: the minimal annulus candidate per label pair, nothing
+		// more. The label modulus comes from the radius byte so the fuzzer
+		// explores singleton labels (k large) through all-same (k == 1).
+		if len(pts) > 0 {
+			k := int32(1 + int(data[0])%5)
+			labels := make([]int32, len(pts))
+			for i := range labels {
+				labels[i] = int32(i) % k
+			}
+			type minRec struct {
+				i, j int
+				d2   float64
+			}
+			want := map[[2]int32]minRec{}
+			for _, p := range fromBrute {
+				if p.d2 <= lo2 || labels[p.i] == labels[p.j] {
+					continue
+				}
+				la, lb := labels[p.i], labels[p.j]
+				if la > lb {
+					la, lb = lb, la
+				}
+				key := [2]int32{la, lb}
+				cand := minRec{p.i, p.j, p.d2}
+				cur, ok := want[key]
+				if !ok || cand.d2 < cur.d2 ||
+					(cand.d2 == cur.d2 && (cand.i < cur.i || (cand.i == cur.i && cand.j < cur.j))) {
+					want[key] = cand
+				}
+			}
+			got := map[[2]int32]minRec{}
+			tree.MinPairsByLabel(labels, lo2, r, func(i, j int, d2 float64) {
+				la, lb := labels[i], labels[j]
+				if la > lb {
+					la, lb = lb, la
+				}
+				key := [2]int32{la, lb}
+				if _, dup := got[key]; dup {
+					t.Fatalf("label pair %v visited twice (n=%d, k=%d)", key, len(pts), k)
+				}
+				got[key] = minRec{i, j, d2}
+			})
+			if len(got) != len(want) {
+				t.Fatalf("min pairs: %d label pairs, want %d (n=%d, k=%d, r=%v)",
+					len(got), len(want), len(pts), k, r)
+			}
+			for key, w := range want {
+				if g, ok := got[key]; !ok || g != w {
+					t.Fatalf("min pair %v: got %+v, want %+v (n=%d, k=%d)", key, got[key], w, len(pts), k)
+				}
 			}
 		}
 	})

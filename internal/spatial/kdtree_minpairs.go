@@ -1,0 +1,345 @@
+package spatial
+
+// MinPairsByLabel — the dual-tree Borůvka core of the k-d tree backend.
+//
+// The filtered-Kruskal MST only ever *uses* one candidate per pair of
+// union-find components: the minimal one in the strict (d2, i, j) order. Any
+// other candidate between the same components reaches the Kruskal replay
+// after that minimum and finds its endpoints already connected, so
+// enumerating it is pure waste — and on islands placements that waste is the
+// whole bill: a bridging round between two 256-point clusters enumerates and
+// sorts 65k cross pairs to keep one. This query returns exactly the per-
+// label-pair minima inside the annulus, and prunes with three facts the flat
+// pair enumeration cannot use:
+//
+//   - a subtree whose points all share one label contains no cross-label
+//     pairs (kills intra-island work at any radius);
+//   - a pair of single-label subtrees needs no descent once its box distance
+//     exceeds the pair's current best (turns the 65k-pair island-vs-island
+//     scan into a bichromatic closest-pair search);
+//   - the annulus and box bounds of the plain queries still apply.
+//
+// The returned minima are exact per-pair minima over the full annulus pair
+// set (pruning uses strict > against rounding-monotone lower bounds, so a
+// box that could hold the minimum — or an (i, j)-smaller tie — is never
+// skipped). Feeding them to the same sort + replay therefore unions the
+// exact edge sequence the full candidate enumeration would, which is what
+// keeps the tree and grid MST paths bit-identical.
+
+import (
+	"math"
+
+	"adhocnet/internal/geom"
+)
+
+const kdNoLabel = -1
+
+// kdBest is the current minimal candidate for one label pair.
+type kdBest struct {
+	d2   float64
+	i, j int32
+}
+
+// bestLess is the strict (d2, i, j) candidate order of the MST's Kruskal
+// replay; MinPairsByLabel minimizes in this order so ties in distance
+// resolve identically to the full enumeration.
+func bestLess(a, b kdBest) bool {
+	if a.d2 != b.d2 {
+		return a.d2 < b.d2
+	}
+	if a.i != b.i {
+		return a.i < b.i
+	}
+	return a.j < b.j
+}
+
+// minPairsScratch is the per-query state of MinPairsByLabel, owned by the
+// tree so repeated rounds allocate nothing: the per-node pure-label
+// annotation and an open-addressed (label pair) -> best-candidate table.
+type minPairsScratch struct {
+	labels []int32 // caller's labels, valid during one query
+	pure   []int32 // per node: the single label of its subtree, or kdNoLabel
+
+	keys  []uint64 // open addressing; 0 is empty, stored key is pair+1
+	vals  []int32  // index into best, parallel to keys
+	best  []kdBest
+	mask  uint64
+	lo2   float64
+	r2    float64
+
+	// One-entry lookup memo: leaf scans meet the same label pair in runs
+	// (a leaf holds points of a few coalescing components), so most probes
+	// repeat the previous key. Holds an index, not a pointer — best may
+	// be reallocated by an intervening insert.
+	lastKey uint64
+	lastIdx int32
+}
+
+// MinPairsByLabel visits, for every unordered pair of distinct labels with
+// at least one point pair in the annulus lo2 < d2 <= r*r, the minimal such
+// pair in the strict (d2, i, j) order — and nothing else. labels must have
+// one entry per indexed point; the label values are opaque. Visit order is
+// unspecified (callers sort, as they do for the flat enumeration).
+func (t *KDTree) MinPairsByLabel(labels []int32, lo2, r float64, visit PairVisitor) {
+	if r < 0 || t.root < 0 || len(t.pts) < 2 {
+		return
+	}
+	s := &t.mp
+	s.labels = labels
+	s.lo2 = lo2
+	s.r2 = r * r
+	t.annotatePure()
+	if len(s.keys) == 0 {
+		s.keys = make([]uint64, 1024)
+		s.vals = make([]int32, 1024)
+	}
+	clear(s.keys)
+	s.best = s.best[:0]
+	s.mask = uint64(len(s.keys) - 1)
+	s.lastKey = 0
+	t.minSelf(t.root)
+	for _, b := range s.best {
+		if b.i >= 0 { // skip pruning probes that never saw a qualifying pair
+			emitOrdered(int(b.i), int(b.j), b.d2, visit)
+		}
+	}
+	s.labels = nil
+}
+
+// annotatePure fills pure[] with each subtree's single label, or kdNoLabel
+// when the subtree spans several. Children are appended after their parent
+// during build, so one reverse pass visits children first.
+func (t *KDTree) annotatePure() {
+	s := &t.mp
+	if cap(s.pure) < len(t.nodes) {
+		s.pure = make([]int32, len(t.nodes))
+	}
+	s.pure = s.pure[:len(t.nodes)]
+	for id := len(t.nodes) - 1; id >= 0; id-- {
+		nd := &t.nodes[id]
+		if nd.left >= 0 {
+			l, r := s.pure[nd.left], s.pure[nd.right]
+			if l != kdNoLabel && l == r {
+				s.pure[id] = l
+			} else {
+				s.pure[id] = kdNoLabel
+			}
+			continue
+		}
+		lab := s.labels[t.idx[nd.lo]]
+		for x := nd.lo + 1; x < nd.hi; x++ {
+			if s.labels[t.idx[x]] != lab {
+				lab = kdNoLabel
+				break
+			}
+		}
+		s.pure[id] = lab
+	}
+}
+
+// bestFor returns the table slot's candidate for the label pair (la, lb) and
+// the slot to write back to, inserting a +Inf sentinel on first sight. The
+// table doubles at 3/4 load; steady state reuses the grown storage.
+func (s *minPairsScratch) bestFor(la, lb int32) *kdBest {
+	if la > lb {
+		la, lb = lb, la
+	}
+	key := (uint64(uint32(la))<<32 | uint64(uint32(lb))) + 1
+	if key == s.lastKey {
+		return &s.best[s.lastIdx]
+	}
+	h := (key * 0x9e3779b97f4a7c15) & s.mask
+	for {
+		switch s.keys[h] {
+		case key:
+			s.lastKey, s.lastIdx = key, s.vals[h]
+			return &s.best[s.vals[h]]
+		case 0:
+			if 4*(len(s.best)+1) > 3*len(s.keys) {
+				s.growTable()
+				return s.bestFor(la, lb)
+			}
+			s.keys[h] = key
+			s.vals[h] = int32(len(s.best))
+			s.best = append(s.best, kdBest{d2: math.Inf(1), i: -1, j: -1})
+			s.lastKey, s.lastIdx = key, s.vals[h]
+			return &s.best[len(s.best)-1]
+		}
+		h = (h + 1) & s.mask
+	}
+}
+
+// growTable rehashes into a table of twice the size.
+func (s *minPairsScratch) growTable() {
+	oldKeys, oldVals := s.keys, s.vals
+	s.keys = make([]uint64, 2*len(oldKeys))
+	s.vals = make([]int32, len(s.keys))
+	s.mask = uint64(len(s.keys) - 1)
+	for i, key := range oldKeys {
+		if key == 0 {
+			continue
+		}
+		h := (key * 0x9e3779b97f4a7c15) & s.mask
+		for s.keys[h] != 0 {
+			h = (h + 1) & s.mask
+		}
+		s.keys[h] = key
+		s.vals[h] = oldVals[i]
+	}
+}
+
+// minSelf handles pairs with both endpoints under node a.
+func (t *KDTree) minSelf(a int32) {
+	s := &t.mp
+	if s.pure[a] != kdNoLabel {
+		return // single label: no cross-label pairs inside
+	}
+	nd := &t.nodes[a]
+	dx := nd.maxX - nd.minX
+	dy := nd.maxY - nd.minY
+	dz := nd.maxZ - nd.minZ
+	if dx*dx+dy*dy+dz*dz <= s.lo2 {
+		return // whole subtree below the annulus floor
+	}
+	if nd.left < 0 {
+		for x := nd.lo; x < nd.hi; x++ {
+			i := t.idx[x]
+			pi, li := t.pts[i], s.labels[i]
+			for y := x + 1; y < nd.hi; y++ {
+				j := t.idx[y]
+				if s.labels[j] == li {
+					continue
+				}
+				t.offerPair(i, j, pi)
+			}
+		}
+		return
+	}
+	t.minSelf(nd.left)
+	t.minSelf(nd.right)
+	t.minCross(nd.left, nd.right)
+}
+
+// minCross handles pairs with one endpoint under a and one under b.
+func (t *KDTree) minCross(a, b int32) {
+	s := &t.mp
+	na, nb := &t.nodes[a], &t.nodes[b]
+	pa, pb := s.pure[a], s.pure[b]
+	if pa != kdNoLabel && pa == pb {
+		return // both subtrees are the same single label
+	}
+	min2 := boxMinDist2(na, nb)
+	if min2 > s.r2 || boxMaxDist2(na, nb) <= s.lo2 {
+		return
+	}
+	if pa != kdNoLabel && pb != kdNoLabel {
+		// Exactly one label pair below here (purity is inherited by every
+		// descendant), so the whole sub-recursion is a bichromatic
+		// closest-pair search for that pair: hand it the table entry once
+		// and search best-first, instead of re-probing the table per pair.
+		t.minCrossPure(a, b, min2, s.bestFor(pa, pb))
+		return
+	}
+	aLeaf, bLeaf := na.left < 0, nb.left < 0
+	if aLeaf && bLeaf {
+		for x := na.lo; x < na.hi; x++ {
+			i := t.idx[x]
+			pi, li := t.pts[i], s.labels[i]
+			for y := nb.lo; y < nb.hi; y++ {
+				j := t.idx[y]
+				if s.labels[j] == li {
+					continue
+				}
+				t.offerPair(i, j, pi)
+			}
+		}
+		return
+	}
+	if bLeaf || (!aLeaf && na.hi-na.lo >= nb.hi-nb.lo) {
+		t.minCross(na.left, b)
+		t.minCross(na.right, b)
+	} else {
+		t.minCross(a, nb.left)
+		t.minCross(a, nb.right)
+	}
+}
+
+// minCrossPure minimizes over pairs with one endpoint under a and one under
+// b, all belonging to one pair of labels, directly into that pair's table
+// entry bst (no appends happen below here, so the pointer stays valid). The
+// nearer child pair is searched first so bst tightens before the farther
+// one is considered — the standard dual-tree closest-pair order; a subtree
+// pair is dropped once its box bound cannot beat bst (strict >, preserving
+// equal-d2 smaller-(i,j) ties). min2 is boxMinDist2(a, b), already computed
+// by the caller's pruning check.
+func (t *KDTree) minCrossPure(a, b int32, min2 float64, bst *kdBest) {
+	s := &t.mp
+	if min2 > s.r2 || min2 > bst.d2 {
+		return
+	}
+	na, nb := &t.nodes[a], &t.nodes[b]
+	if boxMaxDist2(na, nb) <= s.lo2 {
+		return
+	}
+	aLeaf, bLeaf := na.left < 0, nb.left < 0
+	if aLeaf && bLeaf {
+		for x := na.lo; x < na.hi; x++ {
+			i := t.idx[x]
+			pi := t.pts[i]
+			for y := nb.lo; y < nb.hi; y++ {
+				j := t.idx[y]
+				d2 := geom.Dist2(pi, t.pts[j])
+				if d2 > s.r2 || d2 <= s.lo2 {
+					continue
+				}
+				lo, hi := i, j
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if cand := (kdBest{d2: d2, i: lo, j: hi}); bestLess(cand, *bst) {
+					*bst = cand
+				}
+			}
+		}
+		return
+	}
+	var c1, c2 int32
+	if bLeaf || (!aLeaf && na.hi-na.lo >= nb.hi-nb.lo) {
+		c1, c2 = na.left, na.right
+		d1 := boxMinDist2(&t.nodes[c1], nb)
+		d2 := boxMinDist2(&t.nodes[c2], nb)
+		if d2 < d1 {
+			c1, c2, d1, d2 = c2, c1, d2, d1
+		}
+		t.minCrossPure(c1, b, d1, bst)
+		t.minCrossPure(c2, b, d2, bst)
+	} else {
+		c1, c2 = nb.left, nb.right
+		d1 := boxMinDist2(na, &t.nodes[c1])
+		d2 := boxMinDist2(na, &t.nodes[c2])
+		if d2 < d1 {
+			c1, c2, d1, d2 = c2, c1, d2, d1
+		}
+		t.minCrossPure(a, c1, d1, bst)
+		t.minCrossPure(a, c2, d2, bst)
+	}
+}
+
+// offerPair tests the concrete pair (i, j) against the annulus and offers it
+// to its label pair's running best. pi is t.pts[i], already loaded by the
+// caller's scan.
+func (t *KDTree) offerPair(i, j int32, pi geom.Point) {
+	s := &t.mp
+	d2 := geom.Dist2(pi, t.pts[j])
+	if d2 > s.r2 || d2 <= s.lo2 {
+		return
+	}
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cand := kdBest{d2: d2, i: lo, j: hi}
+	if bst := s.bestFor(s.labels[i], s.labels[j]); bestLess(cand, *bst) {
+		*bst = cand
+	}
+}

@@ -1,0 +1,286 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// clusteredPoints builds an islands placement: k tight clusters in a large
+// region, the shape the grid's budgeted cells handle worst.
+func clusteredPoints(rng *xrand.Rand, reg geom.Region, clusters, perCluster int, radius float64) []geom.Point {
+	var pts []geom.Point
+	for c := 0; c < clusters; c++ {
+		center := reg.UniformPoint(rng)
+		for i := 0; i < perCluster; i++ {
+			pts = append(pts, reg.Clamp(reg.UniformInBall(rng, center, radius)))
+		}
+	}
+	return pts
+}
+
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(11)
+	for _, dim := range []int{1, 2, 3} {
+		for _, n := range []int{0, 1, 2, 5, 17, 40, 200} {
+			for _, r := range []float64{0, 0.5, 2, 10, 50, 200} {
+				reg := geom.MustRegion(100, dim)
+				pts := reg.UniformPoints(rng, n)
+				tree := NewKDTree(pts, dim)
+				got := pairSet(func(v PairVisitor) { tree.ForEachPairWithin(r, v) })
+				want := pairSet(func(v PairVisitor) { BruteForcePairsWithin(pts, r, v) })
+				if !equalStrings(got, want) {
+					t.Fatalf("dim=%d n=%d r=%v: tree %d pairs, brute %d pairs",
+						dim, n, r, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestKDTreeMatchesGridClustered(t *testing.T) {
+	rng := xrand.New(12)
+	reg := geom.MustRegion(2000, 2)
+	pts := clusteredPoints(rng, reg, 6, 40, 4)
+	tree := NewKDTree(pts, 2)
+	for _, r := range []float64{0.5, 3, 8, 100, 3000} {
+		got := pairSet(func(v PairVisitor) { tree.ForEachPairWithin(r, v) })
+		want := pairSet(func(v PairVisitor) { PairsWithin(pts, 2, r, v) })
+		if !equalStrings(got, want) {
+			t.Fatalf("r=%v: tree %d pairs, grid %d pairs", r, len(got), len(want))
+		}
+	}
+}
+
+func TestKDTreeCoincidentPoints(t *testing.T) {
+	// All points identical: every build split has zero extent, so the root
+	// must become a leaf rather than recurse forever, and a zero-radius
+	// query must still see every pair (d2 == 0 <= 0).
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Point{X: 7, Y: 7, Z: 7}
+	}
+	tree := NewKDTree(pts, 3)
+	count := 0
+	tree.ForEachPairWithin(0, func(i, j int, d2 float64) {
+		if d2 != 0 {
+			t.Fatalf("pair (%d,%d) has d2=%v, want 0", i, j, d2)
+		}
+		count++
+	})
+	if want := len(pts) * (len(pts) - 1) / 2; count != want {
+		t.Fatalf("coincident pairs: got %d, want %d", count, want)
+	}
+}
+
+func TestKDTreeAnnulusSemantics(t *testing.T) {
+	// ForEachPairInAnnulus must visit exactly lo2 < d2 <= r*r — the visitor
+	// filter the MST rounds currently apply after a full within-r pass.
+	rng := xrand.New(13)
+	reg := geom.MustRegion(100, 2)
+	pts := reg.UniformPoints(rng, 150)
+	tree := NewKDTree(pts, 2)
+	for _, band := range [][2]float64{{0, 5}, {5, 10}, {10, 40}, {40, 200}} {
+		lo, r := band[0], band[1]
+		lo2 := lo * lo
+		got := pairSet(func(v PairVisitor) { tree.ForEachPairInAnnulus(lo2, r, v) })
+		want := pairSet(func(v PairVisitor) {
+			BruteForcePairsWithin(pts, r, func(i, j int, d2 float64) {
+				if d2 > lo2 {
+					v(i, j, d2)
+				}
+			})
+		})
+		if !equalStrings(got, want) {
+			t.Fatalf("annulus (%v, %v]: tree %d pairs, brute %d pairs",
+				lo, r, len(got), len(want))
+		}
+	}
+	// The annulus floor is exclusive: pairs at exactly lo2 are not revisited.
+	pts = []geom.Point{{X: 0}, {X: 3}}
+	tree.Rebuild(pts, 1)
+	tree.ForEachPairInAnnulus(9, 100, func(i, j int, d2 float64) {
+		t.Fatalf("pair (%d,%d) d2=%v visited despite d2 == lo2", i, j, d2)
+	})
+}
+
+func TestKDTreeNearestNeighborMatchesGrid(t *testing.T) {
+	rng := xrand.New(14)
+	var tree KDTree
+	cases := []struct {
+		name string
+		pts  []geom.Point
+	}{
+		{"uniform2d", geom.MustRegion(500, 2).UniformPoints(rng, 300)},
+		{"uniform3d", geom.MustRegion(64, 3).UniformPoints(rng, 300)},
+		{"clustered", clusteredPoints(rng, geom.MustRegion(4000, 2), 8, 50, 10)},
+		{"line", geom.MustRegion(1000, 1).UniformPoints(rng, 100)},
+		{"empty", nil},
+		{"singleton", []geom.Point{{X: 3, Y: 4}}},
+		{"coincident", []geom.Point{{X: 1}, {X: 1}, {X: 1}}},
+	}
+	for _, tc := range cases {
+		got := tree.NearestNeighborDistancesInto(make([]float64, len(tc.pts)), tc.pts)
+		want := NearestNeighborDistances(tc.pts)
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d vs %d", tc.name, len(got), len(want))
+		}
+		for i := range got {
+			// Bitwise identity, including +Inf for singletons.
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: nn[%d] tree=%v grid=%v", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKDTreeRebuildZeroAllocs(t *testing.T) {
+	rng := xrand.New(15)
+	reg := geom.MustRegion(2000, 2)
+	pts := clusteredPoints(rng, reg, 8, 64, 20)
+	var tree KDTree
+	nn := make([]float64, len(pts))
+	sink := 0
+	visit := func(i, j int, d2 float64) { sink++ }
+	// Warm the backing arrays once, then demand a zero steady state.
+	tree.Rebuild(pts, 2)
+	tree.ForEachPairWithin(60, visit)
+	nn = tree.NearestNeighborDistancesInto(nn, pts)
+	allocs := testing.AllocsPerRun(10, func() {
+		tree.Rebuild(pts, 2)
+		tree.ForEachPairWithin(60, visit)
+		tree.ForEachPairInAnnulus(100, 120, visit)
+		nn = tree.NearestNeighborDistancesInto(nn, pts)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state rebuild+query allocates %v/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestKDTreeBalancedOnDuplicateCoordinates(t *testing.T) {
+	// Many tied coordinates must not degrade the median select (3-way
+	// partition) or unbalance the tree into a recursion hazard: 4096 points
+	// on a 16-value lattice still index and query correctly.
+	rng := xrand.New(16)
+	pts := make([]geom.Point, 4096)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: float64(rng.Intn(16)),
+			Y: float64(rng.Intn(16)),
+		}
+	}
+	tree := NewKDTree(pts, 2)
+	count := 0
+	tree.ForEachPairWithin(0.5, func(i, j int, d2 float64) { count++ })
+	want := 0
+	BruteForcePairsWithin(pts, 0.5, func(i, j int, d2 float64) { want++ })
+	if count != want {
+		t.Fatalf("lattice pairs: tree %d, brute %d", count, want)
+	}
+}
+
+// bruteMinPairsByLabel is the reference for MinPairsByLabel: all annulus
+// pairs with distinct labels, reduced to the (d2, i, j)-minimal candidate
+// per unordered label pair.
+func bruteMinPairsByLabel(pts []geom.Point, labels []int32, lo2, r float64) map[[2]int32][3]float64 {
+	want := map[[2]int32][3]float64{}
+	BruteForcePairsWithin(pts, r, func(i, j int, d2 float64) {
+		if d2 <= lo2 || labels[i] == labels[j] {
+			return
+		}
+		la, lb := labels[i], labels[j]
+		if la > lb {
+			la, lb = lb, la
+		}
+		key := [2]int32{la, lb}
+		cand := [3]float64{d2, float64(i), float64(j)}
+		if cur, ok := want[key]; !ok || candBefore(cand, cur) {
+			want[key] = cand
+		}
+	})
+	return want
+}
+
+// candBefore is the strict (d2, i, j) order on [d2, i, j] triples.
+func candBefore(a, b [3]float64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+func checkMinPairs(t *testing.T, name string, tree *KDTree, pts []geom.Point, labels []int32, lo2, r float64) {
+	t.Helper()
+	want := bruteMinPairsByLabel(pts, labels, lo2, r)
+	got := map[[2]int32][3]float64{}
+	tree.MinPairsByLabel(labels, lo2, r, func(i, j int, d2 float64) {
+		la, lb := labels[i], labels[j]
+		if la == lb {
+			t.Fatalf("%s: pair (%d,%d) has equal labels", name, i, j)
+		}
+		if la > lb {
+			la, lb = lb, la
+		}
+		key := [2]int32{la, lb}
+		if _, dup := got[key]; dup {
+			t.Fatalf("%s: label pair %v visited twice", name, key)
+		}
+		got[key] = [3]float64{d2, float64(i), float64(j)}
+	})
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d label pairs, want %d", name, len(got), len(want))
+	}
+	for key, w := range want {
+		if g, ok := got[key]; !ok || g != w {
+			t.Fatalf("%s: label pair %v: got %v, want %v", name, key, got[key], w)
+		}
+	}
+}
+
+func TestKDTreeMinPairsByLabel(t *testing.T) {
+	rng := xrand.New(31)
+	reg := geom.MustRegion(2000, 2)
+	clustered := clusteredPoints(rng, reg, 6, 40, 8)
+	uniform := reg.UniformPoints(rng, 200)
+	labelings := map[string]func(n int) []int32{
+		"singletons": func(n int) []int32 {
+			l := make([]int32, n)
+			for i := range l {
+				l[i] = int32(i)
+			}
+			return l
+		},
+		"all_same": func(n int) []int32 { return make([]int32, n) },
+		"mod7": func(n int) []int32 {
+			l := make([]int32, n)
+			for i := range l {
+				l[i] = int32(i % 7)
+			}
+			return l
+		},
+		"blocks": func(n int) []int32 {
+			l := make([]int32, n)
+			for i := range l {
+				l[i] = int32(i / 40) // aligns with the clusters
+			}
+			return l
+		},
+	}
+	for ptsName, pts := range map[string][]geom.Point{"clustered": clustered, "uniform": uniform} {
+		tree := NewKDTree(pts, 2)
+		for labName, mk := range labelings {
+			labels := mk(len(pts))
+			for _, band := range [][2]float64{{-1, 10}, {100, 400}, {160000, 4000}} {
+				name := fmt.Sprintf("%s/%s/(%v,%v]", ptsName, labName, band[0], band[1])
+				checkMinPairs(t, name, tree, pts, labels, band[0], band[1])
+			}
+		}
+	}
+}

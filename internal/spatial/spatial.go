@@ -85,22 +85,7 @@ func (ix *Index) Rebuild(pts []geom.Point, dim int, side float64) {
 
 	minP, maxP := bounds(pts)
 	ix.minX, ix.minY, ix.minZ = minP.X, minP.Y, minP.Z
-
-	// Grow the side until the grid fits the O(n) cell budget. Doubling
-	// terminates quickly: once side exceeds every extent the grid is 1-2
-	// cells per axis.
-	budget := maxCellBudget(n)
-	ex, ey, ez := maxP.X-minP.X, maxP.Y-minP.Y, maxP.Z-minP.Z
-	for {
-		ix.nx = cellsForExtent(ex, side)
-		ix.ny = cellsForExtent(ey, side)
-		ix.nz = cellsForExtent(ez, side)
-		if int(ix.nx)*int(ix.ny)*int(ix.nz) <= budget {
-			break
-		}
-		side *= 2
-	}
-	ix.side = side
+	ix.side, ix.nx, ix.ny, ix.nz = gridShape(minP, maxP, n, side)
 
 	cells := int(ix.nx) * int(ix.ny) * int(ix.nz)
 	ix.starts = growInt32(ix.starts, cells+1)
@@ -120,6 +105,27 @@ func (ix *Index) Rebuild(pts []geom.Point, dim int, side float64) {
 		c := ix.cellOf(p)
 		ix.items[ix.cursor[c]] = int32(i)
 		ix.cursor[c]++
+	}
+}
+
+// gridShape returns the effective cell side and per-axis cell counts a grid
+// over the bounding box [minP, maxP] of n points would use at the requested
+// side: the side is doubled until the grid fits the O(n) cell budget.
+// Doubling terminates quickly — once the side exceeds every extent the grid
+// is 1-2 cells per axis. This is the single source of truth for the grid
+// geometry; Rebuild and the backend-selection heuristic (select.go) share it
+// so the heuristic reasons about exactly the grid Rebuild would build.
+func gridShape(minP, maxP geom.Point, n int, side float64) (s float64, nx, ny, nz int32) {
+	budget := maxCellBudget(n)
+	ex, ey, ez := maxP.X-minP.X, maxP.Y-minP.Y, maxP.Z-minP.Z
+	for {
+		nx = cellsForExtent(ex, side)
+		ny = cellsForExtent(ey, side)
+		nz = cellsForExtent(ez, side)
+		if int(nx)*int(ny)*int(nz) <= budget {
+			return side, nx, ny, nz
+		}
+		side *= 2
 	}
 }
 
