@@ -1,0 +1,82 @@
+// Command adhoclint runs the project's static-analysis suite (see
+// internal/analysis) over the given package patterns and exits non-zero on
+// any diagnostic. CI runs `go run ./cmd/adhoclint ./...` as a merge gate;
+// the analysis package's self-test keeps `go test` equivalent.
+//
+// Usage:
+//
+//	adhoclint [-list] [-v] [packages]
+//
+// Patterns are go-tool style ("./...", "./internal/core"); the default is
+// "./...". Intentional findings are suppressed in place with
+// //adhoclint:allow <analyzer> <reason> on the offending line or the line
+// above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adhocnet/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	verbose := flag.Bool("v", false, "report package and analyzer counts on success")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: adhoclint [-list] [-v] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(patterns, cwd)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+	diags, err := analysis.Run(loader, pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Printf("adhoclint: %d packages clean under %d analyzers\n", len(pkgs), len(analyzers))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adhoclint:", err)
+	os.Exit(2)
+}

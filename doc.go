@@ -44,6 +44,14 @@
 // search vs brute force) and worker-invariance tests enforce them in CI,
 // including a -race job.
 //
+// The invariants those tests check at run time are also enforced at build
+// time by cmd/adhoclint (internal/analysis): five project-specific
+// analyzers covering seed-replayability (detrand), zero-alloc hot paths
+// (hotpath, driven by //adhoc:hotpath marks), ctx-first lifecycle plumbing
+// (ctxfirst), strict JSON decoding (strictjson), and canonical
+// squared-distance arithmetic (geomdist). CI's lint job and the analysis
+// package's self-test both require `adhoclint ./...` to be diagnostic-free.
+//
 // See DESIGN.md for the system inventory and key algorithmic decisions. The
 // benchmarks in bench_test.go regenerate each figure through the testing.B
 // harness and track the per-snapshot cost at n = 128 through 2048.

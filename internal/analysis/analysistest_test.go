@@ -1,0 +1,143 @@
+package analysis
+
+// A minimal analogue of golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under testdata/src/<path>, and every expected
+// diagnostic is declared in place with a comment of the form
+//
+//	// want `regexp`
+//
+// (multiple backquoted regexps on one line expect that many diagnostics).
+// A fixture line carrying an //adhoclint:allow directive and no want
+// comment is the suppression test: the analyzer must stay silent there.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+	loaderErr    error
+)
+
+// testLoader returns one process-wide Loader so the standard library is
+// type-checked from source once, not per test.
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		l, err := NewLoader(root)
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		l.FixtureRoot, loaderErr = filepath.Abs(filepath.Join("testdata", "src"))
+		sharedLoader = l
+	})
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return sharedLoader
+}
+
+var wantPatternRE = regexp.MustCompile("`([^`]*)`")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// testFixture runs one analyzer (plus directive validation) over a fixture
+// package and reconciles the diagnostics against the want comments.
+func testFixture(t *testing.T, az *Analyzer, path string) {
+	t.Helper()
+	l := testLoader(t)
+	pkg, err := l.LoadPackage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l, []*Package{pkg}, []*Analyzer{az})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := make(map[wantKey][]*regexp.Regexp)
+	total := 0
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body := strings.TrimPrefix(c.Text, "//")
+				body = strings.TrimSuffix(strings.TrimPrefix(body, "/*"), "*/")
+				rest, ok := strings.CutPrefix(strings.TrimSpace(body), "want ")
+				if !ok {
+					continue
+				}
+				matches := wantPatternRE.FindAllStringSubmatch(rest, -1)
+				pos := l.Fset.Position(c.Pos())
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: want comment without a backquoted pattern", pos.Filename, pos.Line)
+				}
+				key := wantKey{pos.Filename, pos.Line}
+				for _, m := range matches {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[key] = append(wants[key], re)
+					total++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatalf("fixture %s declares no expected diagnostics", path)
+	}
+
+	for _, d := range diags {
+		key := wantKey{d.Position.Filename, d.Position.Line}
+		matched := false
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: no diagnostic matched %q", key.file, key.line, re)
+			}
+		}
+	}
+}
+
+// testFixtureSilent asserts that the analyzer produces nothing on a
+// fixture that deliberately sits outside its scope.
+func testFixtureSilent(t *testing.T, az *Analyzer, path string) {
+	t.Helper()
+	l := testLoader(t)
+	pkg, err := l.LoadPackage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l, []*Package{pkg}, []*Analyzer{az})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside analyzer scope: %s", d)
+	}
+}

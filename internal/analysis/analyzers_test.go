@@ -1,0 +1,34 @@
+package analysis
+
+import "testing"
+
+func TestDetRandFixture(t *testing.T) {
+	testFixture(t, DetRand, "detrand/core")
+}
+
+func TestDetRandSkipsUnscopedPackages(t *testing.T) {
+	testFixtureSilent(t, DetRand, "detrand/outside")
+}
+
+func TestHotPathFixture(t *testing.T) {
+	testFixture(t, HotPath, "hotpath/hot")
+}
+
+func TestCtxFirstFixture(t *testing.T) {
+	testFixture(t, CtxFirst, "ctxfirst/core")
+}
+
+func TestStrictJSONFixture(t *testing.T) {
+	testFixture(t, StrictJSON, "strictjson/scenario")
+}
+
+func TestGeomDistFixture(t *testing.T) {
+	testFixture(t, GeomDist, "geomdist/sim")
+}
+
+// TestAllowDirectiveValidation checks that malformed suppression
+// directives are themselves diagnostics (pseudo-analyzer "adhoclint"),
+// regardless of which analyzers run.
+func TestAllowDirectiveValidation(t *testing.T) {
+	testFixture(t, GeomDist, "allowdir/sim")
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the run-lifecycle contract on package core: every
+// exported function that spawns goroutines or calls context-aware APIs
+// must take a context.Context as its first parameter and thread it down,
+// and core code must never mint its own root context — cancellation and
+// deadlines flow from the caller (the CLIs) or they do not work at all.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported core functions that spawn goroutines or call ctx-aware APIs take context.Context first and pass it down",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) error {
+	if pkgShortName(pass.Pkg.Path) != "core" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, fd := range funcDecls(pass.Pkg) {
+		// Rule 1, all functions: no context.Background()/TODO() — a fresh
+		// root context silently detaches the work from cancellation.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Background", "TODO"} {
+				if usedPkgFunc(info, sel, "context", name) {
+					pass.Reportf(sel.Pos(), "context.%s in core detaches work from the caller's cancellation; thread the ctx parameter instead", name)
+				}
+			}
+			return true
+		})
+
+		if !fd.Name.IsExported() {
+			continue
+		}
+		spawns, callsCtxAware := ctxTriggers(info, fd)
+		if !spawns && !callsCtxAware {
+			continue
+		}
+		what := "calls context-aware APIs"
+		if spawns {
+			what = "spawns goroutines"
+		}
+		ctxParam := firstParamIfContext(info, fd)
+		if ctxParam == nil {
+			pass.Reportf(fd.Name.Pos(), "exported function %s %s but does not take context.Context as its first parameter", fd.Name.Name, what)
+			continue
+		}
+		if ctxParam.Name() == "" || ctxParam.Name() == "_" || !objUsed(info, fd.Body, ctxParam) {
+			pass.Reportf(fd.Name.Pos(), "exported function %s takes a context but never passes it down; cancellation stops at this frame", fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// ctxTriggers reports whether the function spawns goroutines or calls any
+// function whose own first parameter is a context.Context.
+func ctxTriggers(info *types.Info, fd *ast.FuncDecl) (spawns, callsCtxAware bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawns = true
+		case *ast.CallExpr:
+			if sig := calleeSig(info, n); sig != nil && sig.Params().Len() > 0 {
+				if isContextType(sig.Params().At(0).Type()) {
+					callsCtxAware = true
+				}
+			}
+		}
+		return true
+	})
+	return spawns, callsCtxAware
+}
+
+// firstParamIfContext returns the object of the function's first parameter
+// when that parameter has type context.Context, else nil.
+func firstParamIfContext(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	first := params.List[0]
+	tv, ok := info.Types[first.Type]
+	if !ok || !isContextType(tv.Type) {
+		return nil
+	}
+	if len(first.Names) == 0 {
+		// Unnamed ctx parameter: type-correct but impossible to thread.
+		// Synthesize an unnamed var so the caller reports non-propagation.
+		return types.NewParam(first.Pos(), nil, "_", tv.Type)
+	}
+	obj, _ := info.Defs[first.Names[0]].(*types.Var)
+	return obj
+}
+
+// objUsed reports whether obj is referenced anywhere under root.
+func objUsed(info *types.Info, root ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

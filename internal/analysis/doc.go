@@ -1,0 +1,37 @@
+// Package analysis implements adhoclint, the project's static-analysis
+// suite. It turns the invariants the test suite checks at run time into
+// diagnostics produced at lint time:
+//
+//   - detrand: simulation packages must not read nondeterministic sources
+//     (math/rand, wall-clock time) or iterate maps in unsorted order, so
+//     that a fixed seed always reproduces the same published numbers.
+//   - hotpath: functions marked //adhoc:hotpath must not allocate — no
+//     capturing closures, no fmt/log calls, no make/new/&T{}, no growth of
+//     function-local slices, no explicit interface conversions.
+//   - ctxfirst: exported functions in core that spawn goroutines or call
+//     context-aware APIs must take a context.Context first and thread it
+//     down (the run-lifecycle contract).
+//   - strictjson: every json decode in scenario and checkpoint must reject
+//     unknown fields (json.Decoder with DisallowUnknownFields; never
+//     json.Unmarshal).
+//   - geomdist: inline dx*dx+dy*dy(+dz*dz) squared-distance expressions are
+//     forbidden outside package geom; geom.Dist2/geom.SumSq own the
+//     arithmetic order that keeps spatial backends bitwise identical.
+//
+// A finding that is intentional is suppressed in place with a directive
+// comment on the offending line or the line directly above it:
+//
+//	//adhoclint:allow <analyzer> <reason>
+//
+// The reason is mandatory; a malformed or unknown directive is itself a
+// diagnostic, so suppressions cannot rot silently.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API surface
+// (Analyzer, Pass, Diagnostic) but is built on the standard library alone:
+// packages are loaded from source with go/parser and type-checked with
+// go/types, using a module-aware importer that resolves adhocnet/... paths
+// inside the repository and defers everything else to the compiler's source
+// importer. The build environment for this repository has no module proxy,
+// so x/tools cannot be vendored; keeping the API shape identical makes a
+// future migration to the upstream multichecker a mechanical edit.
+package analysis

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GeomDist flags inline squared-distance arithmetic — sums of two or three
+// squared float terms like dx*dx+dy*dy+dz*dz — everywhere outside package
+// geom. geom.Dist2 and geom.SumSq own the exact operation order of that
+// expression; the k-d tree's pruning bounds are only admissible (and the
+// tree/grid backends only bitwise identical) because every squared
+// distance in the simulator rounds identically. A hand-expanded copy with
+// a different association order would drift by an ulp and silently break
+// the cross-backend determinism tests.
+var GeomDist = &Analyzer{
+	Name: "geomdist",
+	Doc:  "inline dx*dx+dy*dy squared-distance expressions outside geom; use geom.Dist2 or geom.SumSq",
+	Run:  runGeomDist,
+}
+
+func runGeomDist(pass *Pass) error {
+	if pkgShortName(pass.Pkg.Path) == "geom" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	// Only maximal + chains are judged: a sub-sum inside a larger addition
+	// is part of that larger expression, not a free-standing distance.
+	// Inspect visits parents before children, so marking each ADD node's
+	// ADD operands as sub-chains before testing suffices.
+	subchain := make(map[ast.Node]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || be.Op != token.ADD {
+				return true
+			}
+			for _, op := range []ast.Expr{be.X, be.Y} {
+				if inner, ok := unparen(op).(*ast.BinaryExpr); ok && inner.Op == token.ADD {
+					subchain[inner] = true
+				}
+			}
+			if subchain[be] {
+				return true
+			}
+			terms := flattenAdd(be)
+			if len(terms) < 2 || len(terms) > 3 {
+				return true
+			}
+			for _, t := range terms {
+				if !isFloatSquare(info, t) {
+					return true
+				}
+			}
+			pass.Reportf(be.Pos(), "inline squared-distance expression; route it through geom.Dist2 (points) or geom.SumSq (per-axis terms) to keep the rounding order canonical")
+			return true
+		})
+	}
+	return nil
+}
+
+// flattenAdd splits a left- or right-nested chain of + into its terms.
+func flattenAdd(e ast.Expr) []ast.Expr {
+	if be, ok := unparen(e).(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		return append(flattenAdd(be.X), flattenAdd(be.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// isFloatSquare reports whether e is x*x for a floating-point identifier
+// or selector x — the shape of one squared axis difference.
+func isFloatSquare(info *types.Info, e ast.Expr) bool {
+	be, ok := unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != token.MUL {
+		return false
+	}
+	tv, ok := info.Types[be]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return false
+	}
+	x, y := unparen(be.X), unparen(be.Y)
+	return sameSimpleExpr(x, y)
+}
+
+// sameSimpleExpr reports structural equality of two side-effect-free
+// expressions built from identifiers and field selections.
+func sameSimpleExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		bi, ok := b.(*ast.Ident)
+		return ok && a.Name == bi.Name
+	case *ast.SelectorExpr:
+		bs, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bs.Sel.Name && sameSimpleExpr(unparen(a.X), unparen(bs.X))
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPath verifies the zero-allocation contract of functions marked with a
+// //adhoc:hotpath doc comment: the per-snapshot and per-pair inner loops
+// whose steady-state allocation count the benchmarks pin at zero. Marked
+// functions must not create capturing closures, call fmt or log, allocate
+// via make/new/&T{}, grow function-local slices with append, or convert
+// values to interface types.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "functions marked //adhoc:hotpath must not allocate",
+	Run:  runHotPath,
+}
+
+// hotpathMark is matched against the raw doc-comment lines; directive-style
+// comments (no space after //) are invisible to godoc output, like
+// //go:noinline.
+const hotpathMark = "//adhoc:hotpath"
+
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMark) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPath(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Pkg) {
+		if isHotPath(fd) {
+			checkHotPathFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotPathFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedVar(info, fd, n); capt != "" {
+				pass.Reportf(n.Pos(), "hot path %s: closure captures %s and escapes to the heap; pass state explicitly", name, capt)
+			}
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				pass.Reportf(n.Pos(), "hot path %s: &composite literal allocates; reuse workspace storage", name)
+			}
+		case *ast.CallExpr:
+			checkHotPathCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func checkHotPathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	name := fd.Name.Name
+
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if at, ok := info.Types[call.Args[0]]; ok {
+				if _, argIface := at.Type.Underlying().(*types.Interface); !argIface {
+					pass.Reportf(call.Pos(), "hot path %s: conversion to interface type %s allocates", name, tv.Type.String())
+				}
+			}
+		}
+		return
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "hot path %s: %s allocates; acquire buffers from the workspace instead", name, b.Name())
+			case "append":
+				checkHotPathAppend(pass, fd, call)
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			if p := obj.Pkg().Path(); p == "fmt" || p == "log" {
+				pass.Reportf(call.Pos(), "hot path %s: %s.%s allocates (formatting, interface boxing); hot paths must not format", name, p, obj.Name())
+			}
+		}
+	}
+}
+
+// checkHotPathAppend flags append calls that grow a slice local to the hot
+// function: fresh slices grow without a cap and allocate on the spot.
+// Appends into workspace state (field selectors), caller-provided buffers
+// (parameters, named results), or locals derived by reslicing (x := y[:0])
+// are the sanctioned reuse shapes.
+func checkHotPathAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := info.Uses[dst].(*types.Var)
+	if !ok {
+		return
+	}
+	// Only variables declared inside the body are "function-local": the
+	// receiver, parameters, and named results all live outside it.
+	if obj.Pos() < fd.Body.Pos() || obj.Pos() > fd.Body.End() {
+		return
+	}
+	if definedByReslice(info, fd, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(), "hot path %s: append grows function-local slice %s (uncapped allocation); use a workspace buffer or reslice an existing one", fd.Name.Name, obj.Name())
+}
+
+// definedByReslice reports whether obj's defining assignment is a slice
+// expression (x := buf[:0] and friends), i.e. the local aliases existing
+// storage rather than starting empty.
+func definedByReslice(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || info.Defs[id] != obj {
+				continue
+			}
+			if i < len(asg.Rhs) {
+				if _, ok := asg.Rhs[i].(*ast.SliceExpr); ok {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// capturedVar returns the name of a variable the closure captures from its
+// enclosing function, or "" when the closure is capture-free (a plain
+// function value, which needs no heap cell).
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside the
+		// literal itself.
+		if v.Pos() >= fd.Pos() && v.Pos() <= fd.End() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one loaded, type-checked package of the module (or of a test
+// fixture tree). Analyzers receive the syntax, the type information, and
+// the import path they scope on.
+type Package struct {
+	Path  string // import path ("adhocnet/internal/core")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages from source using only the
+// standard library. Module-internal import paths resolve against the
+// repository; FixtureRoot (used by tests) is a secondary source root for
+// analysistest fixtures; everything else — the standard library — is
+// type-checked by the compiler's source importer.
+type Loader struct {
+	Fset        *token.FileSet
+	ModulePath  string
+	ModuleRoot  string
+	FixtureRoot string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// The source importer consults the global build context; cgo-transformed
+// sources are unavailable without invoking the toolchain, so force the
+// pure-Go variants of any conditionally-cgo standard packages.
+var disableCgo sync.Once
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader returns a Loader rooted at the module directory.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	disableCgo.Do(func() { build.Default.CgoEnabled = false })
+	data, err := os.ReadFile(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("%s/go.mod: no module directive", moduleRoot)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleRoot: moduleRoot,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// Import implements types.Importer so a Loader can resolve the imports of
+// the packages it checks, including module-internal ones.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg != nil {
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadPackage loads one module or fixture package by import path.
+func (l *Loader) LoadPackage(path string) (*Package, error) {
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("%s: not a module or fixture package", path)
+	}
+	return pkg, nil
+}
+
+// load returns the cached or freshly checked package, or (nil, nil) when
+// the path belongs to the standard library.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.resolveDir(path)
+	if !ok {
+		return nil, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, err := l.check(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) resolveDir(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), true
+	}
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// sourceFiles lists the non-test Go files of dir in sorted order.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (l *Loader) check(path, dir string) (*Package, error) {
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadPatterns expands go-style package patterns ("./...", "./internal/x")
+// relative to baseDir and loads every matched package. Directories named
+// testdata, hidden directories, and directories with no non-test Go files
+// are skipped, as the go tool does.
+func (l *Loader) LoadPatterns(patterns []string, baseDir string) ([]*Package, error) {
+	baseDir, err := filepath.Abs(baseDir)
+	if err != nil {
+		return nil, err
+	}
+	dirSet := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !dirSet[dir] {
+			dirSet[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec, pat = true, rest
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(baseDir, root)
+		}
+		if !rec {
+			add(filepath.Clean(root))
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(filepath.Clean(p))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		names, err := sourceFiles(dir)
+		if err != nil || len(names) == 0 {
+			continue // not a package directory
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s: outside module %s", dir, l.ModulePath)
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StrictJSON enforces the strict-decoding contract of the scenario and
+// checkpoint packages: a field name typo in a spec or checkpoint must be a
+// load error, not a silently ignored key that runs a subtly different
+// experiment. Every json.Decoder must call DisallowUnknownFields before
+// Decode, and json.Unmarshal (which cannot reject unknown fields) is
+// forbidden outright.
+var StrictJSON = &Analyzer{
+	Name: "strictjson",
+	Doc:  "json decoding in scenario/checkpoint must reject unknown fields",
+	Run:  runStrictJSON,
+}
+
+var strictJSONScope = map[string]bool{
+	"scenario":   true,
+	"checkpoint": true,
+}
+
+func runStrictJSON(pass *Pass) error {
+	if !strictJSONScope[pkgShortName(pass.Pkg.Path)] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, fd := range funcDecls(pass.Pkg) {
+		// First pass: positions where DisallowUnknownFields is called,
+		// keyed by the decoder variable it is called on.
+		disallowed := make(map[types.Object][]int)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !usedPkgFunc(info, sel, "encoding/json", "DisallowUnknownFields") {
+				return true
+			}
+			if recv, ok := sel.X.(*ast.Ident); ok {
+				if obj := info.Uses[recv]; obj != nil {
+					disallowed[obj] = append(disallowed[obj], int(call.Pos()))
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if usedPkgFunc(info, sel, "encoding/json", "Unmarshal") {
+				pass.Reportf(call.Pos(), "json.Unmarshal cannot reject unknown fields; use a json.Decoder with DisallowUnknownFields (see scenario.decodeStrict)")
+				return true
+			}
+			if !usedPkgFunc(info, sel, "encoding/json", "Decode") {
+				return true
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok {
+				// Chained json.NewDecoder(r).Decode(v): no window to call
+				// DisallowUnknownFields at all.
+				pass.Reportf(call.Pos(), "Decode on an unnamed json.Decoder cannot have DisallowUnknownFields set; bind the decoder to a variable first")
+				return true
+			}
+			obj := info.Uses[recv]
+			ok = false
+			for _, p := range disallowed[obj] {
+				if p < int(call.Pos()) {
+					ok = true
+				}
+			}
+			if !ok {
+				pass.Reportf(call.Pos(), "json.Decoder.Decode without a prior DisallowUnknownFields on %s: unknown spec fields would be silently dropped", recv.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

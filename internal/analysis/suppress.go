@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowDirective is the suppression comment:
+//
+//	//adhoclint:allow <analyzer> <reason>
+//
+// It silences diagnostics of the named analyzer on the directive's own line
+// and on the line directly below it (so it works both trailing the
+// offending expression and on its own line above a statement or import).
+const allowDirective = "adhoclint:allow"
+
+// allowSet maps "<file>:<line>" to the analyzer names allowed there.
+type allowSet map[string]map[string]bool
+
+func (s allowSet) covers(analyzer string, pos token.Position) bool {
+	return s[pos.Filename+":"+strconv.Itoa(pos.Line)][analyzer]
+}
+
+func (s allowSet) add(analyzer, file string, line int) {
+	key := file + ":" + strconv.Itoa(line)
+	if s[key] == nil {
+		s[key] = make(map[string]bool)
+	}
+	s[key][analyzer] = true
+}
+
+// collectAllows scans the package's comments for allow directives. A
+// directive must name a known analyzer and give a non-empty reason;
+// anything else is reported so a typo cannot silently disable a check.
+func collectAllows(fset *token.FileSet, pkg *Package, known map[string]bool) (allowSet, []Diagnostic) {
+	allows := make(allowSet)
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "adhoclint",
+			Position: fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments cannot carry directives
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), allowDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					report(c.Pos(), "allow directive names no analyzer (want //adhoclint:allow <analyzer> <reason>)")
+				case !known[fields[0]]:
+					report(c.Pos(), "allow directive names unknown analyzer "+quoted(fields[0]))
+				case len(fields) == 1:
+					report(c.Pos(), "allow directive for "+quoted(fields[0])+" gives no reason")
+				default:
+					pos := fset.Position(c.Pos())
+					allows.add(fields[0], pos.Filename, pos.Line)
+					allows.add(fields[0], pos.Filename, pos.Line+1)
+				}
+			}
+		}
+	}
+	return allows, diags
+}
+
+func quoted(s string) string { return strconv.Quote(s) }

@@ -1,0 +1,17 @@
+// Package sim exercises the validation of the //adhoclint:allow directive
+// itself: malformed directives are diagnostics, so a typo can never
+// silently disable a check. The block comments carry the expectations
+// because a line directive consumes the rest of its line.
+package sim
+
+/* want `allow directive names no analyzer` */ //adhoclint:allow
+func missingAnalyzer() {}
+
+/* want `allow directive names unknown analyzer "detrnd"` */ //adhoclint:allow detrnd map ordering is fine here
+func unknownAnalyzer() {}
+
+/* want `allow directive for "detrand" gives no reason` */ //adhoclint:allow detrand
+func missingReason() {}
+
+//adhoclint:allow geomdist a well-formed directive is not itself a diagnostic
+func wellFormed() {}

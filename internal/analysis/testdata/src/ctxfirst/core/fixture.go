@@ -1,0 +1,59 @@
+// Package core is a ctxfirst fixture: the analyzer scopes to packages
+// whose import path ends in "core".
+package core
+
+import "context"
+
+// Spawn starts a goroutine without taking a context.
+func Spawn(n int) { // want `exported function Spawn spawns goroutines but does not take context\.Context as its first parameter`
+	go worker(n)
+}
+
+// Misordered takes a context, but not first.
+func Misordered(n int, ctx context.Context) error { // want `exported function Misordered calls context-aware APIs but does not take context\.Context as its first parameter`
+	return helper(ctx, n)
+}
+
+// Dropped takes a context first but never threads it anywhere.
+func Dropped(ctx context.Context, n int) { // want `exported function Dropped takes a context but never passes it down`
+	go worker(n)
+}
+
+// Run is the contract-conforming shape: ctx first, ctx threaded.
+func Run(ctx context.Context, n int) error {
+	return helper(ctx, n)
+}
+
+// SpawnAllowed suppresses the contract with a reason.
+//
+//adhoclint:allow ctxfirst fixture: detached maintenance goroutine owned by the process
+func SpawnAllowed(n int) {
+	go worker(n)
+}
+
+// Pure has neither goroutines nor context-aware callees: exempt.
+func Pure(n int) int { return n * 2 }
+
+// spawnQuietly is unexported: outside the exported-API contract.
+func spawnQuietly(n int) {
+	go worker(n)
+}
+
+// freshRoot mints a root context, which detaches cancellation; flagged in
+// exported and unexported functions alike.
+func freshRoot() error {
+	return helper(context.Background(), 0) // want `context\.Background in core detaches work from the caller's cancellation`
+}
+
+// freshRootAllowed carries an inline suppression.
+func freshRootAllowed() error {
+	return helper(context.TODO(), 0) //adhoclint:allow ctxfirst fixture: process-lifetime root owned by this frame
+}
+
+func helper(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+func worker(n int) { _ = n }

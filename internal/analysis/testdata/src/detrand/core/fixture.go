@@ -1,0 +1,63 @@
+// Package core is a detrand fixture: its import path ends in "core", one
+// of the simulation packages the analyzer scopes to.
+package core
+
+import (
+	"math/rand" // want `import of math/rand: simulation code must draw randomness from internal/xrand`
+	"sort"
+	"time"
+)
+
+// Draw uses the forbidden import so it compiles; only the import line is
+// diagnosed.
+func Draw() int { return rand.Int() }
+
+// Timing reads the wall clock twice; both reads are flagged.
+func Timing() time.Duration {
+	start := time.Now()      // want `time\.Now in a simulation package`
+	return time.Since(start) // want `time\.Since in a simulation package`
+}
+
+// TimingAllowed demonstrates the suppression directive on the line above.
+func TimingAllowed() time.Time {
+	//adhoclint:allow detrand fixture: timing row is explicitly non-reproducible output
+	return time.Now()
+}
+
+// Keys is the sanctioned collect-then-sort idiom: key-only range, a single
+// append of the key, and a sort call after the loop.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeysUnsorted collects keys but never sorts them, so the map order leaks.
+func KeysUnsorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum folds map values in iteration order.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// SumAllowed carries a trailing suppression on the offending line.
+func SumAllowed(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { //adhoclint:allow detrand fixture: demonstration of an inline suppression
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,18 @@
+// Package outside is not one of the simulation packages, so detrand must
+// stay silent here even though every forbidden construct appears.
+package outside
+
+import "time"
+
+func Timing() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

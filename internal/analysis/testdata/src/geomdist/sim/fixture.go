@@ -1,0 +1,42 @@
+// Package sim is a geomdist fixture: any package other than geom is in
+// scope.
+package sim
+
+type point struct{ x, y, z float64 }
+
+func dist3(p, q point) float64 {
+	dx := p.x - q.x
+	dy := p.y - q.y
+	dz := p.z - q.z
+	return dx*dx + dy*dy + dz*dz // want `inline squared-distance expression`
+}
+
+func dist2(p, q point) float64 {
+	dx := p.x - q.x
+	dy := p.y - q.y
+	return dx*dx + dy*dy // want `inline squared-distance expression`
+}
+
+func fields(p point) float64 {
+	return p.x*p.x + p.y*p.y // want `inline squared-distance expression`
+}
+
+func parens(dx, dy float64) float64 {
+	return (dx * dx) + (dy * dy) // want `inline squared-distance expression`
+}
+
+func allowed(u, v float64) float64 {
+	return u*u + v*v //adhoclint:allow geomdist fixture: polar acceptance test, not a distance
+}
+
+func notSquares(a, b, c, d float64) float64 {
+	return a*b + c*d // mixed operands: not a squared distance
+}
+
+func ints(m, n int) int {
+	return m*m + n*n // integer arithmetic is exact; no rounding-order hazard
+}
+
+func fourTerms(a, b, c, d float64) float64 {
+	return a*a + b*b + c*c + d*d // four axes is not the distance shape; maximal-chain rule keeps sub-sums quiet
+}

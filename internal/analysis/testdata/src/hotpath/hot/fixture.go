@@ -1,0 +1,99 @@
+// Package hot is a hotpath fixture: only functions marked //adhoc:hotpath
+// are checked, and every allocation shape has a fired and a sanctioned
+// variant.
+package hot
+
+import "fmt"
+
+type ws struct{ buf []float64 }
+
+//adhoc:hotpath
+func CaptureClosure(xs []float64) float64 {
+	total := 0.0
+	add := func(v float64) { total += v } // want `closure captures total`
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+//adhoc:hotpath
+func PlainFuncValue(xs []float64) float64 {
+	double := func(v float64) float64 { return v * 2 } // capture-free: no heap cell
+	s := 0.0
+	for _, x := range xs {
+		s += double(x)
+	}
+	return s
+}
+
+//adhoc:hotpath
+func Format(x float64) {
+	fmt.Println(x) // want `fmt\.Println allocates`
+}
+
+//adhoc:hotpath
+func FormatAllowed(x float64) {
+	//adhoclint:allow hotpath fixture: cold panic path, never taken per snapshot
+	fmt.Println(x)
+}
+
+//adhoc:hotpath
+func Make(n int) int {
+	tmp := make([]int, n) // want `make allocates`
+	return len(tmp)
+}
+
+//adhoc:hotpath
+func New() *ws {
+	return new(ws) // want `new allocates`
+}
+
+//adhoc:hotpath
+func AddrComposite() *ws {
+	return &ws{} // want `&composite literal allocates`
+}
+
+//adhoc:hotpath
+func GrowLocal(n int) int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want `append grows function-local slice xs`
+	}
+	return len(xs)
+}
+
+//adhoc:hotpath
+func GrowWorkspace(w *ws, xs []float64) {
+	w.buf = w.buf[:0]
+	for _, x := range xs {
+		w.buf = append(w.buf, x) // workspace field: sanctioned reuse
+	}
+}
+
+//adhoc:hotpath
+func GrowParam(dst []float64, xs []float64) []float64 {
+	for _, x := range xs {
+		dst = append(dst, x) // caller-provided buffer: sanctioned
+	}
+	return dst
+}
+
+//adhoc:hotpath
+func GrowResliced(w *ws, xs []float64) []float64 {
+	out := w.buf[:0]
+	for _, x := range xs {
+		out = append(out, x) // local aliases workspace storage: sanctioned
+	}
+	return out
+}
+
+//adhoc:hotpath
+func Box(x float64) any {
+	return any(x) // want `conversion to interface type`
+}
+
+// coldPath is unmarked, so nothing here fires.
+func coldPath(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,58 @@
+// Package scenario is a strictjson fixture: the analyzer scopes to
+// packages whose import path ends in "scenario" or "checkpoint".
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+type spec struct{ N int }
+
+// Lax decodes without rejecting unknown fields.
+func Lax(b []byte) (spec, error) {
+	var s spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	err := dec.Decode(&s) // want `json\.Decoder\.Decode without a prior DisallowUnknownFields on dec`
+	return s, err
+}
+
+// Strict is the contract-conforming shape.
+func Strict(b []byte) (spec, error) {
+	var s spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&s)
+	return s, err
+}
+
+// TooLate calls DisallowUnknownFields only after the decode already ran.
+func TooLate(b []byte) (spec, error) {
+	var s spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	err := dec.Decode(&s) // want `json\.Decoder\.Decode without a prior DisallowUnknownFields on dec`
+	dec.DisallowUnknownFields()
+	return s, err
+}
+
+// Chained leaves no window to configure the decoder at all.
+func Chained(b []byte) (spec, error) {
+	var s spec
+	err := json.NewDecoder(bytes.NewReader(b)).Decode(&s) // want `Decode on an unnamed json\.Decoder`
+	return s, err
+}
+
+// Unmarshal cannot reject unknown fields, strict or not.
+func Unmarshal(b []byte) (spec, error) {
+	var s spec
+	err := json.Unmarshal(b, &s) // want `json\.Unmarshal cannot reject unknown fields`
+	return s, err
+}
+
+// UnmarshalAllowed is the sanctioned two-phase-decode escape hatch.
+func UnmarshalAllowed(b []byte) (spec, error) {
+	var s spec
+	//adhoclint:allow strictjson fixture: kind extraction only, strict decode follows
+	err := json.Unmarshal(b, &s)
+	return s, err
+}

@@ -62,13 +62,13 @@ func extScenariosExperiment() Experiment {
 					cfg.Steps = p.Steps
 				}
 				cfg.Workers = p.Workers
-				start := time.Now()
+				start := time.Now() //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
 				est, err := core.EstimateRanges(context.Background(), sc.Network, cfg,
 					core.RangeTargets{TimeFractions: []float64{1, 0.9}})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s: %w", file, err)
 				}
-				elapsed := time.Since(start)
+				elapsed := time.Since(start) //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
 				r100, err := est.TimeFraction(1)
 				if err != nil {
 					return nil, err

@@ -41,11 +41,20 @@ func Dist(p, q Point) float64 { return math.Sqrt(Dist2(p, q)) }
 // Dist2 returns the squared Euclidean distance between p and q. Preferred in
 // inner loops: comparing squared distances avoids the square root.
 func Dist2(p, q Point) float64 {
-	dx := p.X - q.X
-	dy := p.Y - q.Y
-	dz := p.Z - q.Z
-	return dx*dx + dy*dy + dz*dz
+	return SumSq(p.X-q.X, p.Y-q.Y, p.Z-q.Z)
 }
+
+// SumSq combines three per-axis differences into a squared distance in
+// exactly the operation order of Dist2: square each axis, then sum X, Y, Z
+// left to right. Every squared-distance-like quantity in the simulator —
+// including the k-d tree's box bounds, which square per-axis interval gaps
+// rather than point differences — must go through Dist2 or SumSq. float64
+// rounding is monotone, so a bound assembled by SumSq from per-axis lower
+// (upper) bounds can never exceed (undercut) the Dist2 value of any pair it
+// prunes, which is what keeps tree and grid backends bitwise identical. The
+// adhoclint geomdist analyzer rejects inline dx*dx+dy*dy expressions
+// outside this package so the order cannot silently fork.
+func SumSq(dx, dy, dz float64) float64 { return dx*dx + dy*dy + dz*dz }
 
 // Lerp returns the point a fraction t of the way from p to q. t outside [0,1]
 // extrapolates.

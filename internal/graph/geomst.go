@@ -39,6 +39,7 @@ func candLess(a, b candidate) bool {
 
 // sortCandidates sorts the batch by candLess: insertion sort for short runs,
 // median-of-three quicksort recursing on the smaller partition otherwise.
+//adhoc:hotpath
 func sortCandidates(s []candidate) {
 	for len(s) > 16 {
 		mid := partitionCandidates(s)
@@ -59,6 +60,7 @@ func sortCandidates(s []candidate) {
 
 // partitionCandidates partitions s around a median-of-three pivot and
 // returns the pivot's final index.
+//adhoc:hotpath
 func partitionCandidates(s []candidate) int {
 	hi := len(s) - 1
 	m := hi / 2

@@ -67,6 +67,7 @@ func (uf *UnionFind) Reset(n int) {
 }
 
 // Find returns the representative of x's set.
+//adhoc:hotpath
 func (uf *UnionFind) Find(x int32) int32 {
 	root := x
 	for uf.parent[root] != root {
@@ -80,6 +81,7 @@ func (uf *UnionFind) Find(x int32) int32 {
 
 // Union merges the sets containing a and b and reports whether a merge
 // actually happened (false if they were already together).
+//adhoc:hotpath
 func (uf *UnionFind) Union(a, b int32) bool {
 	ra, rb := uf.Find(a), uf.Find(b)
 	if ra == rb {
@@ -276,6 +278,7 @@ func PrimMST(pts []geom.Point) []Edge {
 // primMSTInto is PrimMST over caller-provided scratch: inTree, bestDist and
 // bestFrom must have length n and edges zero length; the tree edges are
 // appended to edges and returned.
+//adhoc:hotpath
 func primMSTInto(pts []geom.Point, inTree []bool, bestDist []float64, bestFrom []int32, edges []Edge) []Edge {
 	n := len(pts)
 	const unvisited = -1

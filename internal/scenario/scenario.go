@@ -116,6 +116,11 @@ func (p *PartSpec) UnmarshalJSON(b []byte) error {
 	var k struct {
 		Kind string `json:"kind"`
 	}
+	// Phase one of the two-phase decode: only the kind is extracted here;
+	// the registry factory re-decodes the recorded raw bytes strictly
+	// (decodeStrict) against the kind's parameter struct, which is where
+	// unknown fields are rejected.
+	//adhoclint:allow strictjson kind extraction; unknown fields are rejected by decodeStrict in the part factory
 	if err := json.Unmarshal(b, &k); err != nil {
 		return err
 	}

@@ -189,6 +189,7 @@ func (s *minPairsScratch) growTable() {
 }
 
 // minSelf handles pairs with both endpoints under node a.
+//adhoc:hotpath
 func (t *KDTree) minSelf(a int32) {
 	s := &t.mp
 	if s.pure[a] != kdNoLabel {
@@ -198,7 +199,7 @@ func (t *KDTree) minSelf(a int32) {
 	dx := nd.maxX - nd.minX
 	dy := nd.maxY - nd.minY
 	dz := nd.maxZ - nd.minZ
-	if dx*dx+dy*dy+dz*dz <= s.lo2 {
+	if geom.SumSq(dx, dy, dz) <= s.lo2 {
 		return // whole subtree below the annulus floor
 	}
 	if nd.left < 0 {
@@ -221,6 +222,7 @@ func (t *KDTree) minSelf(a int32) {
 }
 
 // minCross handles pairs with one endpoint under a and one under b.
+//adhoc:hotpath
 func (t *KDTree) minCross(a, b int32) {
 	s := &t.mp
 	na, nb := &t.nodes[a], &t.nodes[b]
@@ -272,6 +274,7 @@ func (t *KDTree) minCross(a, b int32) {
 // pair is dropped once its box bound cannot beat bst (strict >, preserving
 // equal-d2 smaller-(i,j) ties). min2 is boxMinDist2(a, b), already computed
 // by the caller's pruning check.
+//adhoc:hotpath
 func (t *KDTree) minCrossPure(a, b int32, min2 float64, bst *kdBest) {
 	s := &t.mp
 	if min2 > s.r2 || min2 > bst.d2 {
@@ -328,6 +331,7 @@ func (t *KDTree) minCrossPure(a, b int32, min2 float64, bst *kdBest) {
 // offerPair tests the concrete pair (i, j) against the annulus and offers it
 // to its label pair's running best. pi is t.pts[i], already loaded by the
 // caller's scan.
+//adhoc:hotpath
 func (t *KDTree) offerPair(i, j int32, pi geom.Point) {
 	s := &t.mp
 	d2 := geom.Dist2(pi, t.pts[j])

@@ -247,6 +247,7 @@ func (ix *Index) Side() float64 { return ix.side }
 // lie at distance <= r. It requires r <= the index cell side; larger radii
 // would miss pairs, so the call silently widens to a correct (brute-force)
 // scan in that case rather than return wrong results.
+//adhoc:hotpath
 func (ix *Index) ForEachPairWithin(r float64, visit PairVisitor) {
 	if r < 0 {
 		return
@@ -309,6 +310,7 @@ func (ix *Index) stencilDim() int {
 	}
 }
 
+//adhoc:hotpath
 func emitOrdered(i, j int, d2 float64, visit PairVisitor) {
 	if i < j {
 		visit(i, j, d2)
@@ -428,6 +430,7 @@ func NearestNeighborDistances(pts []geom.Point) []float64 {
 // nearest-neighbor scale, each point scans its 3^d cell neighborhood, and
 // the few points whose neighbor lies further than one cell retry on a grid
 // twice as coarse until resolved.
+//adhoc:hotpath
 func NearestNeighborDistancesInto(dst []float64, pts []geom.Point, ix *Index) []float64 {
 	n := len(pts)
 	dst = dst[:n]
@@ -483,6 +486,7 @@ func NearestNeighborDistancesInto(dst []float64, pts []geom.Point, ix *Index) []
 // neighborhood holds no other point). Any point outside the neighborhood is
 // at distance > the cell side, so a result <= side^2 is the true nearest
 // neighbor.
+//adhoc:hotpath
 func nearestInNeighborhood(ix *Index, i int) float64 {
 	p := ix.pts[i]
 	cx := clampCell(int32((p.X-ix.minX)/ix.side), ix.nx)

@@ -167,7 +167,7 @@ func (r *Rand) NormFloat64() float64 {
 	for {
 		u := 2*r.Float64() - 1
 		v := 2*r.Float64() - 1
-		s := u*u + v*v
+		s := u*u + v*v //adhoclint:allow geomdist Marsaglia polar acceptance test, not a geometric distance
 		if s >= 1 || s == 0 {
 			continue
 		}
