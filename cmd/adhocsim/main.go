@@ -17,7 +17,7 @@
 //	adhocsim -scenario scenarios/hotspot-city.json
 //
 // In scenario mode the network flags are ignored; -iters, -steps, -seed,
-// -workers, -spatial and the lifecycle flags below still apply.
+// -workers, -spatial, -kinetic and the lifecycle flags below still apply.
 //
 // # Run lifecycle
 //
@@ -106,6 +106,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		seed         = fs.Uint64("seed", 1, "random seed")
 		workers      = fs.Int("workers", 0, "total simulation parallelism, split across iterations and snapshots (0 = all CPUs)")
 		spatialName  = fs.String("spatial", "auto", "spatial index backend: auto (per-snapshot heuristic), grid, kdtree — performance only, results are identical")
+		kineticName  = fs.String("kinetic", "auto", "trajectory evaluation: auto (kinetic when each iteration has one evaluator), on, off — performance only, results are identical")
 		model        = fs.String("model", "waypoint",
 			"mobility model: "+strings.Join(registry.MobilityKinds(), ", "))
 		placement = fs.String("placement", "uniform",
@@ -135,6 +136,10 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 	backend, err := spatial.ParseBackend(*spatialName)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	kinetic, err := core.ParseKineticMode(*kineticName)
 	if err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
@@ -168,12 +173,14 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 				sc.Config.Workers = *workers
 			case "spatial":
 				sc.Config.Spatial = backend
+			case "kinetic":
+				sc.Config.Kinetic = kinetic
 			default:
 				ignored = append(ignored, "-"+f.Name)
 			}
 		})
 		if len(ignored) > 0 {
-			return fmt.Errorf("%w: flags %s have no effect with -scenario (the file defines the workload; only -iters, -steps, -seed, -workers, -spatial, -per-iter and the lifecycle flags apply)",
+			return fmt.Errorf("%w: flags %s have no effect with -scenario (the file defines the workload; only -iters, -steps, -seed, -workers, -spatial, -kinetic, -per-iter and the lifecycle flags apply)",
 				errUsage, strings.Join(ignored, ", "))
 		}
 		if err := sc.Config.Validate(); err != nil {
@@ -210,11 +217,12 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *placement != "uniform" {
 		net.Placement = place
 	}
-	cfg := core.RunConfig{Iterations: *iters, Steps: *steps, Seed: *seed, Workers: *workers, Spatial: backend}
-	// Everything that affects results goes into the workload hash; Workers
-	// and Spatial do not (the scheduler is worker-count invariant and the
-	// spatial backend is bit-identical by construction), so a run may be
-	// resumed at different parallelism or with a different index.
+	cfg := core.RunConfig{Iterations: *iters, Steps: *steps, Seed: *seed, Workers: *workers, Spatial: backend, Kinetic: kinetic}
+	// Everything that affects results goes into the workload hash; Workers,
+	// Spatial and Kinetic do not (the scheduler is worker-count invariant,
+	// and both the spatial backend and the kinetic path are bit-identical by
+	// construction), so a run may be resumed at different parallelism, with
+	// a different index, or on the other evaluation path.
 	lc.workload = fmt.Sprintf("flags|l=%g|d=%d|n=%d|model=%s|placement=%s|vmin=%g|vmax=%g|tpause=%d|pstationary=%g|ppause=%g|m=%g|steps=%d",
 		*l, *dim, *n, *model, *placement, *vmin, *vmax, *tpause, *pstationary, *ppause, *m, *steps)
 

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"adhocnet/internal/core"
 	"adhocnet/internal/experiments"
 )
 
@@ -35,6 +36,7 @@ func run(args []string, out io.Writer) error {
 		list    = fs.Bool("list", false, "list experiments and exit")
 		seed    = fs.Uint64("seed", 0, "override preset seed (0 = keep preset default)")
 		workers = fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		kinetic = fs.String("kinetic", "auto", "trajectory evaluation: auto, on, off — performance only, results are identical")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +55,9 @@ func run(args []string, out io.Writer) error {
 		p.Seed = *seed
 	}
 	p.Workers = *workers
+	if p.Kinetic, err = core.ParseKineticMode(*kinetic); err != nil {
+		return err
+	}
 
 	var selected []experiments.Experiment
 	if *expID == "all" {

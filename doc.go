@@ -38,6 +38,13 @@
 // evaluation fans out over a bounded buffer ring with an ordered reduction —
 // so the paper-faithful "few iterations, many steps, large n" regime
 // saturates all cores with bit-identical results for every worker count.
+// Across mobility steps the kinetic pipeline (RunConfig.Kinetic, DESIGN.md
+// "Kinetic structures") repairs the spatial index, MST, and point graph
+// from the previous snapshot instead of rebuilding: mobility models report
+// per-step moved sets, both backends update in place, and the MST repair
+// re-derives the exact strict-order Kruskal tree from kept edges plus
+// fragment-crossing annulus minima — 2-3x per-step on drift workloads,
+// bit-identical to the rebuild path by construction.
 // DESIGN.md documents the algorithms, the exactness contract against the
 // dense Prim, the buffer-ring/determinism contract, and the workspace-reuse
 // rules; fixed-seed golden traces, fuzz suites (GeoMST vs dense Prim, grid

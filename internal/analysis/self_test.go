@@ -51,6 +51,7 @@ func TestHotPathMarksPresent(t *testing.T) {
 	l := testLoader(t)
 	marked := make(map[string]bool)
 	for _, path := range []string{
+		"adhocnet/internal/geom",
 		"adhocnet/internal/spatial",
 		"adhocnet/internal/graph",
 		"adhocnet/internal/core",
@@ -72,6 +73,13 @@ func TestHotPathMarksPresent(t *testing.T) {
 		"spatial.pairsCross",
 		"spatial.minSelf",
 		"spatial.minCross",
+		"spatial.minSelfCrossing",
+		"spatial.minCrossCrossing",
+		"spatial.minCrossPureCrossing",
+		"spatial.offerPair",
+		"spatial.ForEachNear",
+		"spatial.ForEachNearInAnnulus",
+		"geom.Dist2Batch",
 		"graph.sortCandidates",
 		"graph.primMSTInto",
 		"graph.Find",
@@ -82,7 +90,7 @@ func TestHotPathMarksPresent(t *testing.T) {
 			t.Errorf("expected //adhoc:hotpath mark on %s", want)
 		}
 	}
-	if len(marked) < 15 {
+	if len(marked) < 25 {
 		t.Errorf("only %d hot-path marks found, expected the full inner-loop set", len(marked))
 	}
 }

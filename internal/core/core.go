@@ -83,6 +83,14 @@ type RunConfig struct {
 	// bit-identical results (cross-validated in the tests), so it is
 	// excluded from workload identity.
 	Spatial spatial.Backend
+	// Kinetic selects between rebuild-per-snapshot and incremental (kinetic)
+	// trajectory evaluation: the zero value (KineticAuto) repairs across
+	// mobility steps whenever each iteration is evaluated by a single
+	// worker, KineticOn/KineticOff force one path. Like Workers and Spatial
+	// this is a pure performance knob — both paths produce bit-identical
+	// results (cross-validated in the tests), so it is excluded from
+	// workload identity.
+	Kinetic KineticMode
 	// Sink, when non-nil, enables checkpoint/resume at outer-iteration
 	// granularity: iterations the sink already holds are restored instead
 	// of simulated, and every newly completed iteration is committed to it
@@ -105,6 +113,9 @@ func (c RunConfig) Validate() error {
 	}
 	if c.Spatial > spatial.BackendKDTree {
 		return fmt.Errorf("core: unknown spatial backend %d", c.Spatial)
+	}
+	if c.Kinetic > KineticOff {
+		return fmt.Errorf("core: unknown kinetic mode %d", c.Kinetic)
 	}
 	return nil
 }

@@ -90,10 +90,10 @@ func EvaluateFixedRanges(ctx context.Context, net Network, cfg RunConfig, radii 
 		for i := range accs {
 			accs[i].minLargest = net.Nodes + 1
 		}
-		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws,
 			func() []radiusObs { return make([]radiusObs, len(radii)) },
-			func(_ int, pts []geom.Point, ws *graph.Workspace, out []radiusObs) {
-				p := ws.Profile(pts, net.Region.Dim)
+			func(_ int, pts []geom.Point, moved []int32, ws *graph.Workspace, out []radiusObs) {
+				p := ws.ProfileKinetic(pts, net.Region.Dim, moved)
 				for i, r := range radii {
 					out[i] = radiusObs{largest: int32(p.LargestAt(r)), connected: p.ConnectedAt(r)}
 				}
@@ -319,10 +319,10 @@ func DirectFixedRange(ctx context.Context, net Network, cfg RunConfig, radius fl
 	iters := make([]IterationResult, cfg.Iterations)
 	err := forEachIteration(ctx, cfg, func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error) {
 		acc := fixedAccumulator{minLargest: net.Nodes + 1}
-		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws,
 			func() *radiusObs { return &radiusObs{} },
-			func(_ int, pts []geom.Point, ws *graph.Workspace, out *radiusObs) {
-				g := ws.PointGraph(pts, net.Region.Dim, radius)
+			func(_ int, pts []geom.Point, moved []int32, ws *graph.Workspace, out *radiusObs) {
+				g := ws.PointGraphKinetic(pts, net.Region.Dim, radius, moved)
 				components, largest := ws.ComponentSummary(g)
 				out.largest = int32(largest)
 				out.connected = components <= 1

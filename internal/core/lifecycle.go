@@ -104,9 +104,12 @@ type IterationSink interface {
 // guardedEval runs eval for one snapshot with panic containment: a panic
 // becomes a *PanicError carrying (iter, step). The fault-injection point
 // fires inside the guard, so injected evaluator panics follow exactly the
-// real recovery path.
-func guardedEval[R any](iter, step int, pts []geom.Point, ws *graph.Workspace, out R,
-	eval func(step int, pts []geom.Point, ws *graph.Workspace, out R),
+// real recovery path. moved carries the step's displacement set on the
+// kinetic path and nil everywhere else (snapshot-pool evaluation, the first
+// snapshot of a trajectory); nil tells the workspace's kinetic entry points
+// to evaluate from scratch.
+func guardedEval[R any](iter, step int, pts []geom.Point, moved []int32, ws *graph.Workspace, out R,
+	eval func(step int, pts []geom.Point, moved []int32, ws *graph.Workspace, out R),
 ) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -114,7 +117,7 @@ func guardedEval[R any](iter, step int, pts []geom.Point, ws *graph.Workspace, o
 		}
 	}()
 	faultinject.Fire(faultinject.EvalSnapshot, iter, step)
-	eval(step, pts, ws, out)
+	eval(step, pts, moved, ws, out)
 	return nil
 }
 

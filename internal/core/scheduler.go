@@ -251,27 +251,50 @@ func runIteration(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Work
 // directly), which is also the reference the determinism tests compare the
 // pooled path against. Both paths honor ctx between snapshots and convert
 // panics in eval/merge/Step into *PanicError values carrying (iter, step).
-func runTrajectory[R any](ctx context.Context, iter int, net Network, steps, inner int, rng *xrand.Rand, ws *graph.Workspace,
+//
+// The kinetic mode restructures the same loop instead of replacing it: when
+// kin.enabled says so, the iteration is pinned to this worker's sequential
+// branch (forgoing the snapshot pool), the workspace is armed for
+// incremental repair, and eval receives each step's moved set from the
+// mobility model — a native Mover, or any State adapted through TrackMoves.
+// Snapshot 0 passes moved = nil (the initial placement is not a
+// displacement), which is also what primes the workspace caches. The pooled
+// path always passes nil: its evaluators see snapshots out of order from
+// rotating ring buffers, so there is nothing coherent to repair from.
+func runTrajectory[R any](ctx context.Context, iter int, net Network, steps, inner int, kin KineticMode, rng *xrand.Rand, ws *graph.Workspace,
 	newSlot func() R,
-	eval func(step int, pts []geom.Point, ws *graph.Workspace, out R),
+	eval func(step int, pts []geom.Point, moved []int32, ws *graph.Workspace, out R),
 	merge func(step int, out R),
 ) error {
 	state, err := net.Model.NewState(rng, net.Region, net.Nodes, net.Placement)
 	if err != nil {
 		return err
 	}
-	if inner <= 1 || steps < 2 {
+	kinetic := kin.enabled(steps, inner)
+	if inner <= 1 || steps < 2 || kinetic {
+		ws.SetKinetic(kinetic)
+		var mover mobility.Mover
+		if kinetic {
+			// Step through the Mover so displacement tracking runs even for
+			// third-party states (TrackMoves returns native Movers unchanged).
+			mover = mobility.TrackMoves(state)
+			state = mover
+		}
 		out := newSlot()
 		for t := 0; t < steps; t++ {
 			if ctx.Err() != nil {
 				return ctxError(ctx)
 			}
+			var moved []int32
 			if t > 0 {
 				if err := guardedStep(iter, t, state); err != nil {
 					return err
 				}
+				if kinetic {
+					moved = mover.Moved()
+				}
 			}
-			if err := guardedEval(iter, t, state.Positions(), ws, out, eval); err != nil {
+			if err := guardedEval(iter, t, state.Positions(), moved, ws, out, eval); err != nil {
 				return err
 			}
 			if err := guardedMerge(iter, t, out, merge); err != nil {
@@ -333,7 +356,7 @@ func (r *posRing) resize(ring, nodes int) [][]geom.Point {
 func runSnapshotPool[R any](ctx context.Context, iter int, state mobility.State, nodes, steps, inner int,
 	backend spatial.Backend,
 	newSlot func() R,
-	eval func(step int, pts []geom.Point, ws *graph.Workspace, out R),
+	eval func(step int, pts []geom.Point, moved []int32, ws *graph.Workspace, out R),
 	merge func(step int, out R),
 ) error {
 	ring := 2 * inner
@@ -421,7 +444,7 @@ func runSnapshotPool[R any](ctx context.Context, iter int, state mobility.State,
 				if poolCtx.Err() != nil {
 					continue // canceled: drain the ring without evaluating
 				}
-				if err := guardedEval(iter, t, bufs[t%ring], ws, slots[t%ring], eval); err != nil {
+				if err := guardedEval(iter, t, bufs[t%ring], nil, ws, slots[t%ring], eval); err != nil {
 					healthy = false // the workspace may be mid-update: abandon it
 					fail(err)
 					continue

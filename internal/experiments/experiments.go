@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"adhocnet/internal/core"
 	"adhocnet/internal/report"
 )
 
@@ -31,6 +32,10 @@ type Preset struct {
 	StationaryQuantile float64
 	Seed               uint64
 	Workers            int
+	// Kinetic selects the trajectory-evaluation path (core.KineticMode).
+	// Like Workers it is a pure performance knob: every experiment's output
+	// is bit-identical across modes. The zero value is auto.
+	Kinetic core.KineticMode
 }
 
 // Quick returns the CI-scale preset.

@@ -146,6 +146,7 @@ func extQuantileExperiment() Experiment {
 				Steps:      p.Steps,
 				Seed:       p.seedFor("ext-quantile/mobile"),
 				Workers:    p.Workers,
+				Kinetic:    p.Kinetic,
 			}
 			est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 			if err != nil {

@@ -47,6 +47,7 @@ func extStructureExperiment() Experiment {
 				Steps:      min(p.Steps, 500),
 				Seed:       p.seedFor("ext-structure/eval"),
 				Workers:    p.Workers,
+				Kinetic:    p.Kinetic,
 			}
 			title := fmt.Sprintf("Graph structure at the operating ranges (l=%v, n=%d)", pt.L, pt.N)
 			table := report.NewTable(title,
@@ -201,6 +202,7 @@ func extMobilityQuantityExperiment() Experiment {
 					Steps:      p.Steps,
 					Seed:       p.seedFor("ext-quantity/" + c.name),
 					Workers:    p.Workers,
+					Kinetic:    p.Kinetic,
 				}
 				est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 				if err != nil {

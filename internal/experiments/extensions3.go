@@ -109,6 +109,7 @@ func extDataMuleExperiment() Experiment {
 				Steps:      p.Steps,
 				Seed:       p.seedFor("ext-datamule/estimate"),
 				Workers:    p.Workers,
+				Kinetic:    p.Kinetic,
 			}
 			est, err := core.EstimateRanges(context.Background(), net, cfg,
 				core.RangeTargets{TimeFractions: []float64{0.9, 0.1, 0}})
@@ -129,6 +130,7 @@ func extDataMuleExperiment() Experiment {
 					Steps:      1,
 					Seed:       p.seedFor(fmt.Sprintf("ext-datamule/run/%v", f)),
 					Workers:    p.Workers,
+					Kinetic:    p.Kinetic,
 				}
 				res, err := dissemination.Run(net, runCfg, dissemination.Config{
 					Radius:         e.Mean,

@@ -49,6 +49,7 @@ func runSizeSweep(p Preset, model modelForSide, label string) ([]sweepPoint, err
 			Steps:      p.Steps,
 			Seed:       p.seedFor(fmt.Sprintf("%s/l=%v", label, l)),
 			Workers:    p.Workers,
+			Kinetic:    p.Kinetic,
 		}
 		est, err := core.EstimateRanges(context.Background(), net, cfg, core.PaperTargets())
 		if err != nil {
@@ -179,6 +180,7 @@ func largestComponentFigure(id, title, label string, p Preset, model modelForSid
 			Steps:      p.Steps,
 			Seed:       p.seedFor(fmt.Sprintf("%s/eval/l=%v", label, pt.L)),
 			Workers:    p.Workers,
+			Kinetic:    p.Kinetic,
 		}
 		res, err := core.EvaluateFixedRanges(context.Background(), net, cfg, radii)
 		if err != nil {
@@ -326,6 +328,7 @@ func parameterSweep(p Preset, label string, values []float64, configure func(v f
 			Steps:      p.Steps,
 			Seed:       p.seedFor(fmt.Sprintf("%s/v=%v", label, v)),
 			Workers:    p.Workers,
+			Kinetic:    p.Kinetic,
 		}
 		est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 		if err != nil {

@@ -17,7 +17,10 @@ import (
 // range estimation at Iterations in {1, 2, 4} (capped by the preset) and
 // reports the estimates together with the wall clock and the scheduler's
 // outer x inner worker split — at Iterations = 1 the whole Workers budget
-// lands on the snapshot pool, which used to idle on one core.
+// lands on the snapshot pool, which used to idle on one core. The
+// Iterations = 1 rung runs twice, kinetic on and off: identical estimates
+// (the bit-identity contract), different seconds columns (the kinetic
+// pipeline's per-step speedup).
 func extSweepExperiment() Experiment {
 	return Experiment{
 		ID:    "ext-sweep",
@@ -25,15 +28,16 @@ func extSweepExperiment() Experiment {
 		Description: "Range estimation across the preset sides at Iterations " +
 			"in {1, 2, 4} under the random waypoint model, reporting r_100 " +
 			"and r_90 alongside wall-clock time and the scheduler's " +
-			"outer x inner worker split (run with -preset sweep for node " +
-			"counts up to 16384).",
+			"outer x inner worker split; the Iterations = 1 rung runs with " +
+			"the kinetic pipeline on and off to show the per-step speedup " +
+			"(run with -preset sweep for node counts up to 16384).",
 		Run: func(p Preset) (*Result, error) {
 			if err := p.Validate(); err != nil {
 				return nil, err
 			}
 			iterCounts := []int{1, 2, 4}
 			table := report.NewTable("Two-level scheduler sweep (waypoint)",
-				"l", "n", "iters", "split", "r100 mean", "r90 mean", "seconds")
+				"l", "n", "iters", "split", "kinetic", "r100 mean", "r90 mean", "seconds")
 			series := report.Series{Name: "r90, iters=1"}
 			for _, l := range p.Sides {
 				n := nodesForSide(l)
@@ -46,39 +50,50 @@ func extSweepExperiment() Experiment {
 					if iters > p.Iterations {
 						continue
 					}
-					cfg := core.RunConfig{
-						Iterations: iters,
-						Steps:      p.Steps,
-						Seed:       p.seedFor(fmt.Sprintf("ext-sweep/%v/%d", l, iters)),
-						Workers:    p.Workers,
-					}
-					start := time.Now() //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
-					est, err := core.EstimateRanges(context.Background(), net, cfg,
-						core.RangeTargets{TimeFractions: []float64{1, 0.9}})
-					if err != nil {
-						return nil, err
-					}
-					elapsed := time.Since(start) //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
-					r100, err := est.TimeFraction(1)
-					if err != nil {
-						return nil, err
-					}
-					r90, err := est.TimeFraction(0.9)
-					if err != nil {
-						return nil, err
-					}
-					table.AddRow(
-						report.FormatFloat(l),
-						fmt.Sprintf("%d", n),
-						fmt.Sprintf("%d", iters),
-						cfg.FormatLevels(),
-						report.FormatFloat(r100.Mean),
-						report.FormatFloat(r90.Mean),
-						fmt.Sprintf("%.2f", elapsed.Seconds()),
-					)
+					// The single-iteration rung is the kinetic regime (one
+					// evaluator owns the whole trajectory), so it doubles as
+					// the kinetic-vs-rebuild comparison row.
+					modes := []core.KineticMode{p.Kinetic}
 					if iters == 1 {
-						series.X = append(series.X, l)
-						series.Y = append(series.Y, r90.Mean)
+						modes = []core.KineticMode{core.KineticOn, core.KineticOff}
+					}
+					for _, mode := range modes {
+						cfg := core.RunConfig{
+							Iterations: iters,
+							Steps:      p.Steps,
+							Seed:       p.seedFor(fmt.Sprintf("ext-sweep/%v/%d", l, iters)),
+							Workers:    p.Workers,
+							Kinetic:    mode,
+						}
+						start := time.Now() //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
+						est, err := core.EstimateRanges(context.Background(), net, cfg,
+							core.RangeTargets{TimeFractions: []float64{1, 0.9}})
+						if err != nil {
+							return nil, err
+						}
+						elapsed := time.Since(start) //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
+						r100, err := est.TimeFraction(1)
+						if err != nil {
+							return nil, err
+						}
+						r90, err := est.TimeFraction(0.9)
+						if err != nil {
+							return nil, err
+						}
+						table.AddRow(
+							report.FormatFloat(l),
+							fmt.Sprintf("%d", n),
+							fmt.Sprintf("%d", iters),
+							cfg.FormatLevels(),
+							mode.String(),
+							report.FormatFloat(r100.Mean),
+							report.FormatFloat(r90.Mean),
+							fmt.Sprintf("%.2f", elapsed.Seconds()),
+						)
+						if iters == 1 && mode == core.KineticOn {
+							series.X = append(series.X, l)
+							series.Y = append(series.Y, r90.Mean)
+						}
 					}
 				}
 			}
@@ -97,6 +112,9 @@ func extSweepExperiment() Experiment {
 					"(outer x inner split above) keeps them busy, and the",
 					"estimates are bit-identical for every worker count by the",
 					"ordered-reduction contract (core/scheduler.go).",
+					"The Iterations = 1 rung runs kinetic on and off: the range",
+					"columns must match exactly (graph/kinetic.go bit-identity),",
+					"only the seconds column may differ.",
 				},
 			}, nil
 		},

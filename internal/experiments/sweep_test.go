@@ -37,16 +37,30 @@ func TestExtSweepTinyRun(t *testing.T) {
 	}
 	rows := res.Tables[0].Rows
 	// tinyPreset has 2 sides and Iterations = 3, so the {1, 2} rungs of the
-	// iteration ladder run for each side.
-	if len(rows) != 4 {
-		t.Fatalf("got %d rows, want 4", len(rows))
+	// iteration ladder run for each side, with the iters = 1 rung doubled
+	// into its kinetic-on and kinetic-off comparison rows.
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
 	}
 	for _, row := range rows {
 		if !strings.Contains(row[3], "x") {
 			t.Errorf("split cell %q does not look like outer x inner", row[3])
 		}
-		if row[4] == "" || row[5] == "" {
+		if row[4] == "" {
+			t.Errorf("row %v missing kinetic mode", row)
+		}
+		if row[5] == "" || row[6] == "" {
 			t.Errorf("row %v missing range estimates", row)
+		}
+	}
+	// The kinetic on/off pair at iters = 1 must report identical estimates:
+	// the mode is a performance knob, not a workload parameter.
+	for i := 0; i+1 < len(rows); i++ {
+		a, b := rows[i], rows[i+1]
+		if a[2] == "1" && b[2] == "1" && a[0] == b[0] && a[4] != b[4] {
+			if a[5] != b[5] || a[6] != b[6] {
+				t.Errorf("kinetic modes diverge at l=%s: %v vs %v", a[0], a, b)
+			}
 		}
 	}
 }

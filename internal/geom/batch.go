@@ -1,0 +1,20 @@
+package geom
+
+// Dist2Batch fills dst[k] with Dist2(p, qs[k]) for every k. The loop body is
+// exactly Dist2's operation order per element, so the results are bitwise
+// identical to calling Dist2 in a loop — the batch form only exposes the
+// contiguous coordinate slab to the compiler, which keeps the loads
+// sequential and the squaring independent across iterations (SIMD-friendly
+// on amd64/arm64 without any assembly). dst and qs must have equal length;
+// callers pass a reusable scratch slice, so the kernel never allocates.
+//
+//adhoc:hotpath
+func Dist2Batch(dst []float64, p Point, qs []Point) {
+	if len(dst) != len(qs) {
+		panic("geom: Dist2Batch length mismatch")
+	}
+	for k := range qs {
+		q := qs[k]
+		dst[k] = SumSq(p.X-q.X, p.Y-q.Y, p.Z-q.Z)
+	}
+}

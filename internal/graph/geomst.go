@@ -125,7 +125,8 @@ func (ws *Workspace) GeoMST(pts []geom.Point, dim int) []Edge {
 		ws.inTree = growBool(ws.inTree, n)
 		ws.bestDist = growFloat64(ws.bestDist, n)
 		ws.bestFrom = growInt32(ws.bestFrom, n)
-		ws.edges = primMSTInto(pts, ws.inTree, ws.bestDist, ws.bestFrom, ws.edges)
+		ws.dist2 = growFloat64(ws.dist2, n)
+		ws.edges = primMSTInto(pts, ws.inTree, ws.bestDist, ws.bestFrom, ws.dist2, ws.edges)
 		return ws.edges
 	}
 

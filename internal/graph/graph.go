@@ -272,14 +272,14 @@ func PrimMST(pts []geom.Point) []Edge {
 	if n < 2 {
 		return nil
 	}
-	return primMSTInto(pts, make([]bool, n), make([]float64, n), make([]int32, n), make([]Edge, 0, n-1))
+	return primMSTInto(pts, make([]bool, n), make([]float64, n), make([]int32, n), make([]float64, n), make([]Edge, 0, n-1))
 }
 
-// primMSTInto is PrimMST over caller-provided scratch: inTree, bestDist and
-// bestFrom must have length n and edges zero length; the tree edges are
-// appended to edges and returned.
+// primMSTInto is PrimMST over caller-provided scratch: inTree, bestDist,
+// bestFrom and dist2 must have length n and edges zero length; the tree edges
+// are appended to edges and returned.
 //adhoc:hotpath
-func primMSTInto(pts []geom.Point, inTree []bool, bestDist []float64, bestFrom []int32, edges []Edge) []Edge {
+func primMSTInto(pts []geom.Point, inTree []bool, bestDist []float64, bestFrom []int32, dist2 []float64, edges []Edge) []Edge {
 	n := len(pts)
 	const unvisited = -1
 	for i := range bestDist {
@@ -290,16 +290,18 @@ func primMSTInto(pts []geom.Point, inTree []bool, bestDist []float64, bestFrom [
 	current := int32(0)
 	inTree[0] = true
 	for len(edges) < n-1 {
-		// Relax distances through the newly added vertex, then pick the
-		// closest fringe vertex.
+		// Compute the current row of the distance matrix with the batched
+		// kernel over the contiguous coordinate slab (bitwise the same values
+		// as per-pair Dist2 calls), then relax the fringe through it and pick
+		// the closest fringe vertex.
+		geom.Dist2Batch(dist2, pts[current], pts)
 		next := int32(-1)
 		nextDist := math.Inf(1)
 		for v := int32(0); v < int32(n); v++ {
 			if inTree[v] {
 				continue
 			}
-			d2 := geom.Dist2(pts[current], pts[v])
-			if d2 < bestDist[v] {
+			if d2 := dist2[v]; d2 < bestDist[v] {
 				bestDist[v] = d2
 				bestFrom[v] = current
 			}

@@ -44,6 +44,7 @@ type Workspace struct {
 	inTree   []bool // dense Prim scratch
 	bestDist []float64
 	bestFrom []int32
+	dist2    []float64 // Dist2Batch row scratch
 
 	cursor []int32 // adjacency build scratch
 	labels []int32 // BFS component scratch
@@ -57,6 +58,8 @@ type Workspace struct {
 	batchVisitor spatial.PairVisitor
 	batchPrevR2  float64
 	edgeVisitor  spatial.PairVisitor
+
+	kin kinetic // incremental-update state (kinetic.go); inert until SetKinetic(true)
 }
 
 // NewWorkspace returns an empty workspace. Buffers grow on first use and are
@@ -71,10 +74,11 @@ func AcquireWorkspace() *Workspace { return workspacePool.Get().(*Workspace) }
 
 // ReleaseWorkspace returns a workspace obtained from AcquireWorkspace to the
 // package pool. The caller must not use ws (or anything a ws method returned)
-// afterwards. The spatial-backend policy is reset so the next acquirer starts
-// from the auto default.
+// afterwards. The spatial-backend policy and the kinetic arming are reset so
+// the next acquirer starts from the plain rebuild-per-snapshot default.
 func ReleaseWorkspace(ws *Workspace) {
 	ws.backend = spatial.BackendAuto
+	ws.SetKinetic(false)
 	workspacePool.Put(ws)
 }
 

@@ -61,11 +61,12 @@ func (m GaussMarkov) NewState(rng *xrand.Rand, reg geom.Region, n int, place Pla
 		return nil, err
 	}
 	s := &gaussMarkovState{
-		cfg:   m,
-		rng:   rng,
-		reg:   reg,
-		pts:   pts,
-		nodes: make([]gaussMarkovNode, n),
+		cfg:      m,
+		rng:      rng,
+		reg:      reg,
+		pts:      pts,
+		nodes:    make([]gaussMarkovNode, n),
+		movedSet: newMovedSet(n),
 	}
 	for i := range s.nodes {
 		if rng.Bool(m.PStationary) {
@@ -91,6 +92,7 @@ type gaussMarkovState struct {
 	reg   geom.Region
 	pts   []geom.Point
 	nodes []gaussMarkovNode
+	movedSet
 }
 
 func (s *gaussMarkovState) Positions() []geom.Point { return s.pts }
@@ -99,6 +101,7 @@ func (s *gaussMarkovState) Step() {
 	alpha := s.cfg.Alpha
 	drift := (1 - alpha) * s.cfg.MeanSpeed
 	noise := math.Sqrt(1-alpha*alpha) * s.cfg.Sigma
+	s.begin()
 	for i := range s.nodes {
 		nd := &s.nodes[i]
 		if nd.frozen {
@@ -115,6 +118,9 @@ func (s *gaussMarkovState) Step() {
 		}
 		if s.reg.Dim >= 3 {
 			next.Z = s.bounce(next.Z, &nd.vel.Z, &nd.meanDir.Z)
+		}
+		if next != s.pts[i] {
+			s.note(i)
 		}
 		s.pts[i] = next
 	}

@@ -72,6 +72,7 @@ type stationaryState struct {
 
 func (s *stationaryState) Positions() []geom.Point { return s.pts }
 func (s *stationaryState) Step()                   {}
+func (s *stationaryState) Moved() []int32          { return nil }
 
 // RandomWaypoint is the classical random waypoint model with the paper's
 // p_stationary extension: each node (independently, with probability
@@ -115,11 +116,12 @@ func (m RandomWaypoint) NewState(rng *xrand.Rand, reg geom.Region, n int, place 
 		return nil, err
 	}
 	s := &waypointState{
-		cfg:   m,
-		rng:   rng,
-		reg:   reg,
-		pts:   pts,
-		nodes: make([]waypointNode, n),
+		cfg:      m,
+		rng:      rng,
+		reg:      reg,
+		pts:      pts,
+		nodes:    make([]waypointNode, n),
+		movedSet: newMovedSet(n),
 	}
 	for i := range s.nodes {
 		if rng.Bool(m.PStationary) {
@@ -144,6 +146,7 @@ type waypointState struct {
 	reg   geom.Region
 	pts   []geom.Point
 	nodes []waypointNode
+	movedSet
 }
 
 // assignLeg draws a fresh destination and speed for node i.
@@ -159,6 +162,7 @@ func (s *waypointState) assignLeg(i int) {
 func (s *waypointState) Positions() []geom.Point { return s.pts }
 
 func (s *waypointState) Step() {
+	s.begin()
 	for i := range s.nodes {
 		nd := &s.nodes[i]
 		if nd.frozen {
@@ -172,6 +176,9 @@ func (s *waypointState) Step() {
 			continue
 		}
 		next, reached := geom.StepToward(s.pts[i], nd.dest, nd.speed)
+		if next != s.pts[i] {
+			s.note(i)
+		}
 		s.pts[i] = next
 		if reached {
 			if s.cfg.PauseSteps > 0 {
@@ -221,11 +228,12 @@ func (m Drunkard) NewState(rng *xrand.Rand, reg geom.Region, n int, place Placem
 		return nil, err
 	}
 	s := &drunkardState{
-		cfg:    m,
-		rng:    rng,
-		reg:    reg,
-		pts:    pts,
-		frozen: make([]bool, n),
+		cfg:      m,
+		rng:      rng,
+		reg:      reg,
+		pts:      pts,
+		frozen:   make([]bool, n),
+		movedSet: newMovedSet(n),
 	}
 	for i := range s.frozen {
 		s.frozen[i] = rng.Bool(m.PStationary)
@@ -239,11 +247,13 @@ type drunkardState struct {
 	reg    geom.Region
 	pts    []geom.Point
 	frozen []bool
+	movedSet
 }
 
 func (s *drunkardState) Positions() []geom.Point { return s.pts }
 
 func (s *drunkardState) Step() {
+	s.begin()
 	for i := range s.pts {
 		if s.frozen[i] || s.rng.Bool(s.cfg.PPause) {
 			continue
@@ -253,6 +263,7 @@ func (s *drunkardState) Step() {
 		// first try. Give up after a bounded number of attempts (possible
 		// only when M is comparable to the region size) and clamp instead.
 		const maxAttempts = 64
+		old := s.pts[i]
 		moved := false
 		for a := 0; a < maxAttempts; a++ {
 			cand := s.reg.UniformInBall(s.rng, s.pts[i], s.cfg.M)
@@ -264,6 +275,9 @@ func (s *drunkardState) Step() {
 		}
 		if !moved {
 			s.pts[i] = s.reg.Clamp(s.reg.UniformInBall(s.rng, s.pts[i], s.cfg.M))
+		}
+		if s.pts[i] != old {
+			s.note(i)
 		}
 	}
 }
@@ -302,11 +316,12 @@ func (m RandomDirection) NewState(rng *xrand.Rand, reg geom.Region, n int, place
 		return nil, err
 	}
 	s := &directionState{
-		cfg:   m,
-		rng:   rng,
-		reg:   reg,
-		pts:   pts,
-		nodes: make([]directionNode, n),
+		cfg:      m,
+		rng:      rng,
+		reg:      reg,
+		pts:      pts,
+		nodes:    make([]directionNode, n),
+		movedSet: newMovedSet(n),
 	}
 	for i := range s.nodes {
 		if rng.Bool(m.PStationary) {
@@ -331,6 +346,7 @@ type directionState struct {
 	reg   geom.Region
 	pts   []geom.Point
 	nodes []directionNode
+	movedSet
 }
 
 func (s *directionState) assignDirection(i int) {
@@ -345,6 +361,7 @@ func (s *directionState) assignDirection(i int) {
 func (s *directionState) Positions() []geom.Point { return s.pts }
 
 func (s *directionState) Step() {
+	s.begin()
 	for i := range s.nodes {
 		nd := &s.nodes[i]
 		if nd.frozen {
@@ -357,13 +374,20 @@ func (s *directionState) Step() {
 			}
 			continue
 		}
+		old := s.pts[i]
 		next := s.pts[i].Add(nd.dir.Scale(nd.speed))
 		if s.reg.Contains(next) {
 			s.pts[i] = next
+			if next != old {
+				s.note(i)
+			}
 			continue
 		}
 		// Hit the boundary: stop there, pause, then re-aim.
 		s.pts[i] = s.reg.Clamp(next)
+		if s.pts[i] != old {
+			s.note(i)
+		}
 		if s.cfg.PauseSteps > 0 {
 			nd.pauseLeft = s.cfg.PauseSteps
 		} else {

@@ -1,0 +1,77 @@
+package mobility
+
+import "adhocnet/internal/geom"
+
+// Mover is a State that additionally reports which nodes changed position in
+// the most recent Step. All models in this package implement it natively; the
+// kinetic evaluation pipeline (internal/core, internal/graph) uses the moved
+// set to update spatial indexes and repair the MST incrementally instead of
+// rebuilding per snapshot.
+//
+// The contract is exact by construction: a node index appears in Moved() if
+// and only if its entry in Positions() is bit-wise different from the entry
+// before the Step — models detect this by comparing the coordinates, not by
+// reasoning about their own control flow, so paused, frozen and
+// zero-displacement nodes are never over-reported. Third-party States that do
+// not implement Mover can be adapted with TrackMoves.
+type Mover interface {
+	State
+	// Moved returns the indices of the nodes whose position changed in the
+	// most recent Step, in strictly ascending order. Before the first Step it
+	// returns an empty set (the initial placement is snapshot 0, not a
+	// displacement). The slice is live scratch, valid only until the next
+	// Step.
+	Moved() []int32
+}
+
+// movedSet is the reusable per-step displacement buffer every model state in
+// this package embeds: begin() resets it at the top of Step, note() records
+// one displaced node. Appends stay within the capacity reserved at state
+// construction, so steady-state Step performs no allocation.
+type movedSet struct {
+	moved []int32
+}
+
+func newMovedSet(n int) movedSet { return movedSet{moved: make([]int32, 0, n)} }
+
+func (m *movedSet) begin()         { m.moved = m.moved[:0] }
+func (m *movedSet) note(i int)     { m.moved = append(m.moved, int32(i)) }
+func (m *movedSet) Moved() []int32 { return m.moved }
+
+// TrackMoves adapts any State into a Mover by keeping a private copy of the
+// previous positions and diffing after every Step. States that already
+// implement Mover are returned unchanged (their native tracking is cheaper:
+// no copy, no second pass).
+func TrackMoves(s State) Mover {
+	if m, ok := s.(Mover); ok {
+		return m
+	}
+	pts := s.Positions()
+	t := &trackedState{
+		inner:    s,
+		prev:     make([]geom.Point, len(pts)),
+		movedSet: newMovedSet(len(pts)),
+	}
+	copy(t.prev, pts)
+	return t
+}
+
+type trackedState struct {
+	inner State
+	prev  []geom.Point
+	movedSet
+}
+
+func (t *trackedState) Positions() []geom.Point { return t.inner.Positions() }
+
+func (t *trackedState) Step() {
+	t.inner.Step()
+	t.begin()
+	pts := t.inner.Positions()
+	for i := range pts {
+		if pts[i] != t.prev[i] {
+			t.note(i)
+			t.prev[i] = pts[i]
+		}
+	}
+}

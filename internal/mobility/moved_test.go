@@ -1,0 +1,127 @@
+package mobility
+
+import (
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// movedModels is the displacement-trace roster: every model of the package,
+// in the paper configurations where one exists, plus degenerate corners
+// (all-frozen fleets, zero jitter) where over-reporting would be easiest.
+func movedModels(l float64) map[string]Model {
+	return map[string]Model{
+		"stationary":      Stationary{},
+		"waypoint":        RandomWaypoint{VMin: 0.25, VMax: 12, PauseSteps: 2},
+		"paper-waypoint":  PaperWaypoint(l),
+		"paper-drunkard":  PaperDrunkard(l),
+		"drunkard-pausey": Drunkard{PStationary: 0.5, PPause: 0.9, M: 0.01 * l},
+		"direction":       RandomDirection{VMin: 0.25, VMax: 12, PauseSteps: 3, PStationary: 0.25},
+		"gaussmarkov":     GaussMarkov{Alpha: 0.75, MeanSpeed: 8, Sigma: 4, PStationary: 0.2},
+		"rpgm":            RPGM{Groups: 4, GroupRadius: 64, Jitter: 8, VMin: 0.25, VMax: 12, PauseSteps: 2},
+		"rpgm-rigid":      RPGM{Groups: 4, GroupRadius: 64, Jitter: 0, VMin: 0.25, VMax: 12, PauseSteps: 2},
+	}
+}
+
+// TestMovedMatchesPositionsDiff is the golden displacement trace of the
+// kinetic pipeline: for 32 steps of every model, the moved set the state
+// reports must equal the positions diff exactly — same indices, strictly
+// ascending, nothing over- or under-reported. The whole incremental path
+// (spatial updates, MST repair) trusts this set, so an error here is a
+// silent-corruption bug there.
+func TestMovedMatchesPositionsDiff(t *testing.T) {
+	const l, n, steps = 1024, 48, 32
+	reg := geom.MustRegion(l, 2)
+	for name, m := range movedModels(l) {
+		t.Run(name, func(t *testing.T) {
+			state, err := m.NewState(xrand.New(99), reg, n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mover, ok := state.(Mover)
+			if !ok {
+				t.Fatalf("%T does not implement Mover", state)
+			}
+			if got := mover.Moved(); len(got) != 0 {
+				t.Fatalf("moved set before the first Step is %v, want empty", got)
+			}
+			prev := make([]geom.Point, n)
+			copy(prev, state.Positions())
+			for step := 1; step <= steps; step++ {
+				state.Step()
+				pts := state.Positions()
+				var want []int32
+				for i := range pts {
+					if pts[i] != prev[i] {
+						want = append(want, int32(i))
+					}
+				}
+				got := mover.Moved()
+				if len(got) != len(want) {
+					t.Fatalf("step %d: moved set has %d entries, positions diff has %d\ngot  %v\nwant %v",
+						step, len(got), len(want), got, want)
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("step %d: moved set diverges from positions diff at entry %d\ngot  %v\nwant %v",
+							step, k, got, want)
+					}
+					if k > 0 && got[k] <= got[k-1] {
+						t.Fatalf("step %d: moved set not strictly ascending: %v", step, got)
+					}
+				}
+				copy(prev, pts)
+			}
+		})
+	}
+}
+
+// TestTrackMovesMatchesNative runs the generic diff wrapper against each
+// model's native tracking on identical random streams: both must report the
+// same displacement trace, and wrapping a native Mover must be the identity.
+func TestTrackMovesMatchesNative(t *testing.T) {
+	const l, n, steps = 1024, 48, 32
+	reg := geom.MustRegion(l, 2)
+	for name, m := range movedModels(l) {
+		t.Run(name, func(t *testing.T) {
+			native, err := m.NewState(xrand.New(7), reg, n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if TrackMoves(native) != native.(Mover) {
+				t.Fatal("TrackMoves re-wrapped a native Mover")
+			}
+			shadowState, err := m.NewState(xrand.New(7), reg, n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Hide the shadow's native Mover so TrackMoves installs the
+			// diffing wrapper.
+			shadow := TrackMoves(stateOnly{shadowState})
+			if _, ok := shadow.(*trackedState); !ok {
+				t.Fatalf("TrackMoves returned %T, want the diffing wrapper", shadow)
+			}
+			mover := native.(Mover)
+			for step := 1; step <= steps; step++ {
+				native.Step()
+				shadow.Step()
+				got, want := mover.Moved(), shadow.Moved()
+				if len(got) != len(want) {
+					t.Fatalf("step %d: native reports %v, TrackMoves %v", step, got, want)
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("step %d: native reports %v, TrackMoves %v", step, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// stateOnly strips the Mover interface off a State.
+type stateOnly struct{ s State }
+
+func (w stateOnly) Positions() []geom.Point { return w.s.Positions() }
+func (w stateOnly) Step()                   { w.s.Step() }

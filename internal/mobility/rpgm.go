@@ -77,6 +77,9 @@ func (m RPGM) NewState(rng *xrand.Rand, reg geom.Region, n int, place Placement)
 	// The initial snapshot already includes the per-step jitter, so t = 0 is
 	// distributed like every later step.
 	s.scatter()
+	// The scatter above is the initial placement, not a displacement: the
+	// Mover contract starts reporting at the first Step.
+	s.begin()
 	return s, nil
 }
 
@@ -95,6 +98,7 @@ type rpgmState struct {
 	centers []geom.Point
 	groups  []rpgmGroup
 	offsets []geom.Point // fixed reference-point offsets from the group center
+	movedSet
 }
 
 // assignLeg draws a fresh destination and speed for group g.
@@ -134,10 +138,17 @@ func (s *rpgmState) Step() {
 
 // scatter recomputes every node position from its group geometry: reference
 // point (center + fixed offset) plus the per-step jitter draw, clipped to
-// the region.
+// the region. Virtually every node lands on a fresh position each step (the
+// jitter redraw), so RPGM's moved set is usually all of [0, n) — the
+// comparison still catches the zero-measure coincidences exactly.
 func (s *rpgmState) scatter() {
+	s.begin()
 	for i := range s.pts {
 		ref := s.centers[i%s.cfg.Groups].Add(s.offsets[i])
-		s.pts[i] = s.reg.Clamp(s.reg.UniformInBall(s.rng, ref, s.cfg.Jitter))
+		next := s.reg.Clamp(s.reg.UniformInBall(s.rng, ref, s.cfg.Jitter))
+		if next != s.pts[i] {
+			s.note(i)
+		}
+		s.pts[i] = next
 	}
 }

@@ -45,6 +45,10 @@ func (r *Registry) Build(spec Spec) (*Scenario, error) {
 	if err := net.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
+	kinetic, err := core.ParseKineticMode(spec.Run.Kinetic)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
 	sc := &Scenario{
 		Spec:    spec,
 		Network: net,
@@ -53,6 +57,7 @@ func (r *Registry) Build(spec Spec) (*Scenario, error) {
 			Steps:      spec.Run.Steps,
 			Seed:       spec.Run.SeedValue(),
 			Workers:    spec.Run.Workers,
+			Kinetic:    kinetic,
 		},
 		Radii: append([]float64(nil), spec.Radii...),
 		Targets: core.RangeTargets{

@@ -71,6 +71,10 @@ type RunSpec struct {
 	Steps      int     `json:"steps"`
 	Seed       *uint64 `json:"seed,omitempty"`    // defaults to 1
 	Workers    int     `json:"workers,omitempty"` // 0 = all CPUs
+	// Kinetic selects the trajectory-evaluation path: "auto" (default),
+	// "on" or "off" (core.ParseKineticMode). A performance knob like
+	// Workers: results are bit-identical either way.
+	Kinetic string `json:"kinetic,omitempty"`
 }
 
 // SeedValue returns the run seed with the absent-field default applied.

@@ -54,6 +54,12 @@ type KDTree struct {
 	nodes []kdNode
 	root  int32
 	mp    minPairsScratch // MinPairsByLabel state (kdtree_minpairs.go)
+
+	// Kinetic-repair state (kdtree_update.go): the inverse of idx (point
+	// index -> slot) and the cumulative moved count since the last full
+	// Rebuild, which triggers the staleness rebuild.
+	pos        []int32
+	staleMoves int
 }
 
 // NewKDTree builds a tree over pts. The dim argument is retained for API
@@ -78,11 +84,17 @@ func (t *KDTree) Rebuild(pts []geom.Point, dim int) {
 		t.idx[i] = int32(i)
 	}
 	t.nodes = t.nodes[:0]
+	t.staleMoves = 0
 	if n == 0 {
 		t.root = -1
+		t.pos = t.pos[:0]
 		return
 	}
 	t.root = t.build(0, int32(n))
+	t.pos = growInt32(t.pos, n)
+	for slot, i := range t.idx {
+		t.pos[i] = int32(slot)
+	}
 }
 
 // build creates the subtree over idx[lo:hi] and returns its node id. Splits

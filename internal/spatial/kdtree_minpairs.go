@@ -32,7 +32,13 @@ import (
 	"adhocnet/internal/geom"
 )
 
-const kdNoLabel = -1
+const (
+	kdNoLabel = -1
+	// kdAllExcluded marks a subtree containing no labeled points at all
+	// (every point carries a negative caller label); such subtrees hold no
+	// emittable pairs and are skipped outright.
+	kdAllExcluded = -2
+)
 
 // kdBest is the current minimal candidate for one label pair.
 type kdBest struct {
@@ -73,13 +79,24 @@ type minPairsScratch struct {
 	// be reallocated by an intervening insert.
 	lastKey uint64
 	lastIdx int32
+
+	// Crossing-restricted query state (MinPairsByLabelCrossing): the
+	// caller's static partition and the per-node single-frag annotation
+	// (kdNoLabel when the subtree spans several frag values).
+	frag  []int32
+	pureF []int32
 }
 
 // MinPairsByLabel visits, for every unordered pair of distinct labels with
 // at least one point pair in the annulus lo2 < d2 <= r*r, the minimal such
 // pair in the strict (d2, i, j) order — and nothing else. labels must have
-// one entry per indexed point; the label values are opaque. Visit order is
-// unspecified (callers sort, as they do for the flat enumeration).
+// one entry per indexed point; non-negative label values are opaque. A
+// NEGATIVE label excludes its point entirely: it is never paired, never
+// emitted, and — unlike a distinct positive label — does not break the
+// pure-subtree pruning around it. The kinetic MST repair leans on this to
+// fence off the moved points while keeping the giant unmoved component's
+// subtrees prunable. Visit order is unspecified (callers sort, as they do
+// for the flat enumeration).
 func (t *KDTree) MinPairsByLabel(labels []int32, lo2, r float64, visit PairVisitor) {
 	if r < 0 || t.root < 0 || len(t.pts) < 2 {
 		return
@@ -106,9 +123,10 @@ func (t *KDTree) MinPairsByLabel(labels []int32, lo2, r float64, visit PairVisit
 	s.labels = nil
 }
 
-// annotatePure fills pure[] with each subtree's single label, or kdNoLabel
-// when the subtree spans several. Children are appended after their parent
-// during build, so one reverse pass visits children first.
+// annotatePure fills pure[] with each subtree's single label among its
+// labeled (non-excluded) points: kdNoLabel when the subtree spans several,
+// kdAllExcluded when every point is excluded. Children are appended after
+// their parent during build, so one reverse pass visits children first.
 func (t *KDTree) annotatePure() {
 	s := &t.mp
 	if cap(s.pure) < len(t.nodes) {
@@ -119,16 +137,25 @@ func (t *KDTree) annotatePure() {
 		nd := &t.nodes[id]
 		if nd.left >= 0 {
 			l, r := s.pure[nd.left], s.pure[nd.right]
-			if l != kdNoLabel && l == r {
+			switch {
+			case l == kdAllExcluded:
+				s.pure[id] = r
+			case r == kdAllExcluded || l == r:
 				s.pure[id] = l
-			} else {
+			default:
 				s.pure[id] = kdNoLabel
 			}
 			continue
 		}
-		lab := s.labels[t.idx[nd.lo]]
-		for x := nd.lo + 1; x < nd.hi; x++ {
-			if s.labels[t.idx[x]] != lab {
+		lab := int32(kdAllExcluded)
+		for x := nd.lo; x < nd.hi; x++ {
+			l := s.labels[t.idx[x]]
+			if l < 0 {
+				continue
+			}
+			if lab == kdAllExcluded {
+				lab = l
+			} else if lab != l {
 				lab = kdNoLabel
 				break
 			}
@@ -193,7 +220,7 @@ func (s *minPairsScratch) growTable() {
 func (t *KDTree) minSelf(a int32) {
 	s := &t.mp
 	if s.pure[a] != kdNoLabel {
-		return // single label: no cross-label pairs inside
+		return // single label (or all excluded): no cross-label pairs inside
 	}
 	nd := &t.nodes[a]
 	dx := nd.maxX - nd.minX
@@ -206,9 +233,12 @@ func (t *KDTree) minSelf(a int32) {
 		for x := nd.lo; x < nd.hi; x++ {
 			i := t.idx[x]
 			pi, li := t.pts[i], s.labels[i]
+			if li < 0 {
+				continue
+			}
 			for y := x + 1; y < nd.hi; y++ {
 				j := t.idx[y]
-				if s.labels[j] == li {
+				if lj := s.labels[j]; lj < 0 || lj == li {
 					continue
 				}
 				t.offerPair(i, j, pi)
@@ -227,6 +257,9 @@ func (t *KDTree) minCross(a, b int32) {
 	s := &t.mp
 	na, nb := &t.nodes[a], &t.nodes[b]
 	pa, pb := s.pure[a], s.pure[b]
+	if pa == kdAllExcluded || pb == kdAllExcluded {
+		return // one side has no labeled points at all
+	}
 	if pa != kdNoLabel && pa == pb {
 		return // both subtrees are the same single label
 	}
@@ -247,9 +280,12 @@ func (t *KDTree) minCross(a, b int32) {
 		for x := na.lo; x < na.hi; x++ {
 			i := t.idx[x]
 			pi, li := t.pts[i], s.labels[i]
+			if li < 0 {
+				continue
+			}
 			for y := nb.lo; y < nb.hi; y++ {
 				j := t.idx[y]
-				if s.labels[j] == li {
+				if lj := s.labels[j]; lj < 0 || lj == li {
 					continue
 				}
 				t.offerPair(i, j, pi)
@@ -280,6 +316,9 @@ func (t *KDTree) minCrossPure(a, b int32, min2 float64, bst *kdBest) {
 	if min2 > s.r2 || min2 > bst.d2 {
 		return
 	}
+	if s.pure[a] == kdAllExcluded || s.pure[b] == kdAllExcluded {
+		return // descendants of a pure node can still be all-excluded
+	}
 	na, nb := &t.nodes[a], &t.nodes[b]
 	if boxMaxDist2(na, nb) <= s.lo2 {
 		return
@@ -289,8 +328,14 @@ func (t *KDTree) minCrossPure(a, b int32, min2 float64, bst *kdBest) {
 		for x := na.lo; x < na.hi; x++ {
 			i := t.idx[x]
 			pi := t.pts[i]
+			if s.labels[i] < 0 {
+				continue
+			}
 			for y := nb.lo; y < nb.hi; y++ {
 				j := t.idx[y]
+				if s.labels[j] < 0 {
+					continue
+				}
 				d2 := geom.Dist2(pi, t.pts[j])
 				if d2 > s.r2 || d2 <= s.lo2 {
 					continue

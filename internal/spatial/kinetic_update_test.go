@@ -1,0 +1,320 @@
+package spatial
+
+import (
+	"fmt"
+	"testing"
+
+	"adhocnet/internal/geom"
+	"adhocnet/internal/xrand"
+)
+
+// This file cross-validates the kinetic repair surface of both backends —
+// Index.Update/ForEachNear and KDTree.Update/ForEachNearInAnnulus — against
+// fresh rebuilds and brute force across a random-walk trajectory, plus the
+// exclusion and crossing semantics of the MinPairsByLabel family. These are
+// the primitives the graph-layer repair composes; each must be exact on its
+// own for the pipeline's bit-identity to be provable layer by layer.
+
+// walkStep displaces ~frac of the points by up to step per axis (2-D) and
+// returns the moved set in the Update contract: strictly ascending, only
+// points whose position actually changed.
+func walkStep(rng *xrand.Rand, pts []geom.Point, frac, step float64) []int32 {
+	var moved []int32
+	for i := range pts {
+		if rng.Float64() >= frac {
+			continue
+		}
+		p := pts[i]
+		p.X += rng.Range(-step, step)
+		p.Y += rng.Range(-step, step)
+		if p != pts[i] {
+			pts[i] = p
+			moved = append(moved, int32(i))
+		}
+	}
+	return moved
+}
+
+// pairMap collects a pair enumeration into a canonical map for comparison.
+func pairMap(enum func(visit PairVisitor)) map[[2]int32]float64 {
+	got := map[[2]int32]float64{}
+	enum(func(i, j int, d2 float64) {
+		a, b := int32(i), int32(j)
+		if a > b {
+			a, b = b, a
+		}
+		got[[2]int32{a, b}] = d2
+	})
+	return got
+}
+
+func samePairs(t *testing.T, name string, got, want map[[2]int32]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", name, len(got), len(want))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok || g != w {
+			t.Fatalf("%s: pair %v: got %v, want %v", name, k, got[k], w)
+		}
+	}
+}
+
+// TestIndexUpdateMatchesRebuild drives the grid through a walk — including
+// steps that drift points outside the original bounding box, where cellOf
+// clamps — and requires the updated index to enumerate exactly the pairs a
+// fresh rebuild over the same positions does.
+func TestIndexUpdateMatchesRebuild(t *testing.T) {
+	rng := xrand.New(404)
+	reg := geom.MustRegion(1000, 2)
+	pts := reg.UniformPoints(rng, 300)
+	const r = 60
+	ix := NewIndex(pts, 2, r)
+	for step := 0; step < 12; step++ {
+		// Every third step kicks hard enough to push boundary points out of
+		// the build-time box.
+		stepLen := 10.0
+		if step%3 == 2 {
+			stepLen = 120
+		}
+		moved := walkStep(rng, pts, 0.15, stepLen)
+		ix.Update(moved)
+		fresh := NewIndex(pts, 2, r)
+		name := fmt.Sprintf("step %d (%d moved)", step, len(moved))
+		got := pairMap(func(v PairVisitor) { ix.ForEachPairWithin(r, v) })
+		want := pairMap(func(v PairVisitor) { fresh.ForEachPairWithin(r, v) })
+		samePairs(t, name, got, want)
+	}
+}
+
+// TestIndexForEachNear checks the directed single-point query against brute
+// force for every point, at a radius within the cell side and at one beyond
+// it (the widened-scan fallback).
+func TestIndexForEachNear(t *testing.T) {
+	rng := xrand.New(405)
+	reg := geom.MustRegion(1000, 2)
+	pts := clusteredPoints(rng, reg, 5, 40, 20)
+	ix := NewIndex(pts, 2, 50)
+	for _, r := range []float64{0, 30, 200} {
+		for i := range pts {
+			got := map[int32]float64{}
+			ix.ForEachNear(int32(i), r, func(qi, j int, d2 float64) {
+				if qi != i {
+					t.Fatalf("r=%v: visit reported query point %d, want %d", r, qi, i)
+				}
+				if _, dup := got[int32(j)]; dup {
+					t.Fatalf("r=%v i=%d: neighbor %d visited twice", r, i, j)
+				}
+				got[int32(j)] = d2
+			})
+			want := map[int32]float64{}
+			for j := range pts {
+				if d2 := geom.Dist2(pts[i], pts[j]); j != i && d2 <= r*r {
+					want[int32(j)] = d2
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("r=%v i=%d: %d neighbors, want %d", r, i, len(got), len(want))
+			}
+			for j, w := range want {
+				if g, ok := got[j]; !ok || g != w {
+					t.Fatalf("r=%v i=%d: neighbor %d: got %v, want %v", r, i, j, got[j], w)
+				}
+			}
+		}
+	}
+}
+
+// TestKDTreeUpdateMatchesRebuild walks the k-d tree through in-place motion
+// and requires the box-expanded tree to enumerate exactly what a fresh build
+// does — loose boxes may cost pruning, never pairs.
+func TestKDTreeUpdateMatchesRebuild(t *testing.T) {
+	rng := xrand.New(406)
+	reg := geom.MustRegion(1000, 2)
+	pts := clusteredPoints(rng, reg, 6, 50, 15)
+	tree := NewKDTree(pts, 2)
+	for step := 0; step < 12; step++ {
+		stepLen := 8.0
+		if step%3 == 2 {
+			stepLen = 150
+		}
+		moved := walkStep(rng, pts, 0.1, stepLen)
+		tree.Update(moved)
+		fresh := NewKDTree(pts, 2)
+		name := fmt.Sprintf("step %d (%d moved)", step, len(moved))
+		for _, band := range [][2]float64{{-1, 40}, {400, 120}} {
+			got := pairMap(func(v PairVisitor) { tree.ForEachPairInAnnulus(band[0], band[1], v) })
+			want := pairMap(func(v PairVisitor) { fresh.ForEachPairInAnnulus(band[0], band[1], v) })
+			samePairs(t, fmt.Sprintf("%s band (%v,%v]", name, band[0], band[1]), got, want)
+		}
+	}
+}
+
+// TestKDTreeForEachNearInAnnulus checks the directed annulus query against
+// brute force: lo2 exclusive, r*r inclusive, query point first in the visit.
+func TestKDTreeForEachNearInAnnulus(t *testing.T) {
+	rng := xrand.New(407)
+	reg := geom.MustRegion(1000, 2)
+	pts := clusteredPoints(rng, reg, 5, 40, 20)
+	tree := NewKDTree(pts, 2)
+	for _, band := range [][2]float64{{-1, 0}, {-1, 35}, {900, 80}, {1600, 300}} {
+		lo2, r := band[0], band[1]
+		for i := range pts {
+			got := map[int32]float64{}
+			tree.ForEachNearInAnnulus(int32(i), lo2, r, func(qi, j int, d2 float64) {
+				if qi != i {
+					t.Fatalf("band (%v,%v] i=%d: visit reported query point %d", lo2, r, i, qi)
+				}
+				if _, dup := got[int32(j)]; dup {
+					t.Fatalf("band (%v,%v] i=%d: neighbor %d visited twice", lo2, r, i, j)
+				}
+				got[int32(j)] = d2
+			})
+			want := map[int32]float64{}
+			for j := range pts {
+				if d2 := geom.Dist2(pts[i], pts[j]); j != i && d2 > lo2 && d2 <= r*r {
+					want[int32(j)] = d2
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("band (%v,%v] i=%d: %d neighbors, want %d", lo2, r, i, len(got), len(want))
+			}
+			for j, w := range want {
+				if g, ok := got[j]; !ok || g != w {
+					t.Fatalf("band (%v,%v] i=%d: neighbor %d: got %v, want %v", lo2, r, i, j, got[j], w)
+				}
+			}
+		}
+	}
+}
+
+// TestKDTreeMinPairsByLabelExclusion pins the exclusion contract: a point
+// with a negative label participates in no pair at all, as if removed from
+// the index.
+func TestKDTreeMinPairsByLabelExclusion(t *testing.T) {
+	rng := xrand.New(408)
+	reg := geom.MustRegion(2000, 2)
+	pts := clusteredPoints(rng, reg, 6, 40, 8)
+	tree := NewKDTree(pts, 2)
+	labels := make([]int32, len(pts))
+	for i := range labels {
+		switch {
+		case i%5 == 0:
+			labels[i] = -1 // excluded
+		default:
+			labels[i] = int32(i % 7)
+		}
+	}
+	for _, band := range [][2]float64{{-1, 50}, {400, 2000}} {
+		lo2, r := band[0], band[1]
+		want := map[[2]int32][3]float64{}
+		BruteForcePairsWithin(pts, r, func(i, j int, d2 float64) {
+			la, lb := labels[i], labels[j]
+			if d2 <= lo2 || la < 0 || lb < 0 || la == lb {
+				return
+			}
+			if la > lb {
+				la, lb = lb, la
+			}
+			key := [2]int32{la, lb}
+			cand := [3]float64{d2, float64(i), float64(j)}
+			if cur, ok := want[key]; !ok || candBefore(cand, cur) {
+				want[key] = cand
+			}
+		})
+		got := map[[2]int32][3]float64{}
+		tree.MinPairsByLabel(labels, lo2, r, func(i, j int, d2 float64) {
+			if labels[i] < 0 || labels[j] < 0 {
+				t.Fatalf("band (%v,%v]: excluded point in emitted pair (%d,%d)", lo2, r, i, j)
+			}
+			la, lb := labels[i], labels[j]
+			if la > lb {
+				la, lb = lb, la
+			}
+			got[[2]int32{la, lb}] = [3]float64{d2, float64(i), float64(j)}
+		})
+		if len(got) != len(want) {
+			t.Fatalf("band (%v,%v]: %d label pairs, want %d", lo2, r, len(got), len(want))
+		}
+		for key, w := range want {
+			if g, ok := got[key]; !ok || g != w {
+				t.Fatalf("band (%v,%v]: label pair %v: got %v, want %v", lo2, r, key, got[key], w)
+			}
+		}
+	}
+}
+
+// TestKDTreeMinPairsByLabelCrossing cross-validates the crossing-restricted
+// minima against flat enumeration: per label pair, the (d2, i, j)-minimal
+// annulus pair whose endpoints differ in frag — and nothing when no such
+// pair exists, even if same-frag pairs with those labels do.
+func TestKDTreeMinPairsByLabelCrossing(t *testing.T) {
+	rng := xrand.New(409)
+	reg := geom.MustRegion(2000, 2)
+	for ptsName, pts := range map[string][]geom.Point{
+		"clustered": clusteredPoints(rng, reg, 6, 40, 8),
+		"uniform":   reg.UniformPoints(rng, 200),
+	} {
+		tree := NewKDTree(pts, 2)
+		n := len(pts)
+		// Mirror the kinetic repair's shapes: frag blocks of kept-forest
+		// fragments with a sprinkle of singleton "movers", labels the coarser
+		// merging partition (plus a few exclusions).
+		frag := make([]int32, n)
+		labels := make([]int32, n)
+		for i := range frag {
+			frag[i] = int32(i / 10)
+			if i%17 == 0 {
+				frag[i] = int32(1000 + i) // singleton fragment, a "mover"
+			}
+			labels[i] = int32(i / 25)
+			if i%31 == 0 {
+				labels[i] = -1 // excluded
+			}
+		}
+		for _, band := range [][2]float64{{-1, 60}, {100, 900}, {250000, 4000}} {
+			lo2, r := band[0], band[1]
+			want := map[[2]int32][3]float64{}
+			BruteForcePairsWithin(pts, r, func(i, j int, d2 float64) {
+				la, lb := labels[i], labels[j]
+				if d2 <= lo2 || la < 0 || lb < 0 || la == lb || frag[i] == frag[j] {
+					return
+				}
+				if la > lb {
+					la, lb = lb, la
+				}
+				key := [2]int32{la, lb}
+				cand := [3]float64{d2, float64(i), float64(j)}
+				if cur, ok := want[key]; !ok || candBefore(cand, cur) {
+					want[key] = cand
+				}
+			})
+			got := map[[2]int32][3]float64{}
+			tree.MinPairsByLabelCrossing(labels, frag, lo2, r, func(i, j int, d2 float64) {
+				if frag[i] == frag[j] {
+					t.Fatalf("%s band (%v,%v]: same-frag pair (%d,%d) emitted", ptsName, lo2, r, i, j)
+				}
+				if labels[i] < 0 || labels[j] < 0 {
+					t.Fatalf("%s band (%v,%v]: excluded point in pair (%d,%d)", ptsName, lo2, r, i, j)
+				}
+				la, lb := labels[i], labels[j]
+				if la > lb {
+					la, lb = lb, la
+				}
+				key := [2]int32{la, lb}
+				if _, dup := got[key]; dup {
+					t.Fatalf("%s band (%v,%v]: label pair %v visited twice", ptsName, lo2, r, key)
+				}
+				got[key] = [3]float64{d2, float64(i), float64(j)}
+			})
+			if len(got) != len(want) {
+				t.Fatalf("%s band (%v,%v]: %d label pairs, want %d", ptsName, lo2, r, len(got), len(want))
+			}
+			for key, w := range want {
+				if g, ok := got[key]; !ok || g != w {
+					t.Fatalf("%s band (%v,%v]: label pair %v: got %v, want %v", ptsName, lo2, r, key, got[key], w)
+				}
+			}
+		}
+	}
+}

@@ -42,10 +42,12 @@ type Index struct {
 	minX, minY, minZ float64
 	nx, ny, nz       int32
 
-	starts  []int32 // len nCells+1; cell c occupies items[starts[c]:starts[c+1]]
-	items   []int32 // point indices grouped by cell
-	cursor  []int32 // build scratch
-	scratch []int32 // query scratch (expanding-radius searches)
+	starts   []int32 // len nCells+1; cell c occupies items[starts[c]:starts[c+1]]
+	items    []int32 // point indices grouped by cell
+	cursor   []int32 // build scratch
+	scratch  []int32 // query scratch (expanding-radius searches)
+	nodeCell []int32 // cell of every point, kept in sync by Rebuild and Update
+	reqSide  float64 // side Rebuild was asked for (Update's internal-fallback input)
 }
 
 // maxCellBudget bounds the total cell count so the CSR arrays stay O(n).
@@ -75,6 +77,7 @@ func NewIndex(pts []geom.Point, dim int, side float64) *Index {
 // snapshot after another.
 func (ix *Index) Rebuild(pts []geom.Point, dim int, side float64) {
 	ix.pts = pts
+	ix.reqSide = side
 	n := len(pts)
 	if n == 0 || side <= 0 {
 		ix.side = 0
@@ -87,6 +90,21 @@ func (ix *Index) Rebuild(pts []geom.Point, dim int, side float64) {
 	ix.minX, ix.minY, ix.minZ = minP.X, minP.Y, minP.Z
 	ix.side, ix.nx, ix.ny, ix.nz = gridShape(minP, maxP, n, side)
 
+	// One division pass: cellOf is evaluated once per point into the nodeCell
+	// cache, which both the counting and scatter passes below and the
+	// incremental Update path read back.
+	ix.nodeCell = growInt32(ix.nodeCell, n)
+	for i, p := range pts {
+		ix.nodeCell[i] = ix.cellOf(p)
+	}
+	ix.rebuildCSR()
+}
+
+// rebuildCSR rebuilds the CSR bucket arrays from the nodeCell cache. Points
+// are scattered in ascending index order, so every cell's member list ascends
+// — the invariant ForEachPairWithin's intra-cell i < j loop relies on.
+func (ix *Index) rebuildCSR() {
+	n := len(ix.pts)
 	cells := int(ix.nx) * int(ix.ny) * int(ix.nz)
 	ix.starts = growInt32(ix.starts, cells+1)
 	ix.cursor = growInt32(ix.cursor, cells)
@@ -94,15 +112,14 @@ func (ix *Index) Rebuild(pts []geom.Point, dim int, side float64) {
 	for c := 0; c <= cells; c++ {
 		ix.starts[c] = 0
 	}
-	for _, p := range pts {
-		ix.starts[ix.cellOf(p)+1]++
+	for _, c := range ix.nodeCell[:n] {
+		ix.starts[c+1]++
 	}
 	for c := 0; c < cells; c++ {
 		ix.starts[c+1] += ix.starts[c]
 	}
 	copy(ix.cursor, ix.starts[:cells])
-	for i, p := range pts {
-		c := ix.cellOf(p)
+	for i, c := range ix.nodeCell[:n] {
 		ix.items[ix.cursor[c]] = int32(i)
 		ix.cursor[c]++
 	}
@@ -134,10 +151,12 @@ func (ix *Index) degenerateBuild() {
 	n := len(ix.pts)
 	ix.starts = growInt32(ix.starts, 2)
 	ix.items = growInt32(ix.items, n)
+	ix.nodeCell = growInt32(ix.nodeCell, n)
 	ix.starts[0] = 0
 	ix.starts[1] = int32(n)
 	for i := range ix.pts {
 		ix.items[i] = int32(i)
+		ix.nodeCell[i] = 0
 	}
 }
 

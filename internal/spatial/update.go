@@ -1,0 +1,115 @@
+package spatial
+
+import (
+	"adhocnet/internal/geom"
+)
+
+// This file is the grid half of the kinetic pipeline (DESIGN.md "Kinetic
+// structures"): incremental index maintenance across mobility steps, where a
+// step displaces a small fraction of the points of the same backing slice the
+// index was built over.
+
+// updateDirtyFraction is the moved fraction beyond which Update abandons the
+// incremental path and rebuilds: relocating more than half the points costs
+// about as much as the full single-division-pass Rebuild and additionally
+// risks an anchor that has drifted away from the point set.
+const updateDirtyFraction = 0.5
+
+// Update repairs the index in place after the points listed in moved (a
+// strictly ascending index set) changed position IN THE SAME SLICE the index
+// was last built over — the mobility producer mutates positions in place, so
+// the index's point view is already current and only the cell assignment of
+// the moved points can be stale. Update recomputes those points' cells,
+// keeping the anchor and shape of the last Rebuild, and rebuilds the CSR
+// buckets only when at least one assignment changed.
+//
+// The query surface afterwards is exactly Rebuild's: moved points may have
+// drifted outside the original bounding box, where cellOf clamps them into
+// the boundary cells. Clamping is monotone and contracts coordinate
+// differences, so two points within the query radius r <= side still land in
+// the same or adjacent (clamped) cells — no pair is ever missed; boundary
+// drift costs only scan time. When the moved set exceeds half the points (or
+// the index was never built over this slice length) Update falls back to a
+// full Rebuild at the side the caller last requested.
+func (ix *Index) Update(moved []int32) {
+	n := len(ix.pts)
+	if len(ix.nodeCell) != n || float64(len(moved)) > updateDirtyFraction*float64(n) {
+		ix.Rebuild(ix.pts, 3, ix.reqSide)
+		return
+	}
+	if ix.side <= 0 {
+		return // single-cell index: motion cannot change any assignment
+	}
+	dirty := false
+	for _, i := range moved {
+		c := ix.cellOf(ix.pts[i])
+		if c != ix.nodeCell[i] {
+			ix.nodeCell[i] = c
+			dirty = true
+		}
+	}
+	if dirty {
+		ix.rebuildCSR()
+	}
+}
+
+// ForEachNear calls visit once for every point j != i within distance r of
+// point i, in ascending cell order (the grid's usual scan order). Unlike
+// ForEachPairWithin it is a directed single-point query — visit receives
+// (i, j, d2) with i always the query point, not the i < j pair convention —
+// the kinetic point-graph repair asks it for each moved node, touching only
+// that node's neighborhood instead of re-enumerating every pair. It requires
+// r <= the cell side like every grid query; larger radii widen to a
+// brute-force scan over the point's row, which stays correct.
+//
+//adhoc:hotpath
+func (ix *Index) ForEachNear(i int32, r float64, visit PairVisitor) {
+	if r < 0 {
+		return
+	}
+	p := ix.pts[i]
+	r2 := r * r
+	if ix.side > 0 && r > ix.side {
+		for j := range ix.pts {
+			if int32(j) == i {
+				continue
+			}
+			if d2 := geom.Dist2(p, ix.pts[j]); d2 <= r2 {
+				visit(int(i), j, d2)
+			}
+		}
+		return
+	}
+	cx, cy, cz := int32(0), int32(0), int32(0)
+	if ix.side > 0 {
+		cx = clampCell(int32((p.X-ix.minX)/ix.side), ix.nx)
+		cy = clampCell(int32((p.Y-ix.minY)/ix.side), ix.ny)
+		cz = clampCell(int32((p.Z-ix.minZ)/ix.side), ix.nz)
+	}
+	for dz := int32(-1); dz <= 1; dz++ {
+		z := cz + dz
+		if z < 0 || z >= ix.nz {
+			continue
+		}
+		for dy := int32(-1); dy <= 1; dy++ {
+			y := cy + dy
+			if y < 0 || y >= ix.ny {
+				continue
+			}
+			for dx := int32(-1); dx <= 1; dx++ {
+				x := cx + dx
+				if x < 0 || x >= ix.nx {
+					continue
+				}
+				for _, j := range ix.cell(x, y, z) {
+					if j == i {
+						continue
+					}
+					if d2 := geom.Dist2(p, ix.pts[j]); d2 <= r2 {
+						visit(int(i), int(j), d2)
+					}
+				}
+			}
+		}
+	}
+}
