@@ -30,6 +30,19 @@
 // bit-identical to an uninterrupted run; checkpoints carry a workload hash,
 // so resuming with changed parameters fails instead of mixing results.
 //
+// # Observability
+//
+// -obs <addr> serves live run telemetry over HTTP while the simulation
+// executes: /metrics (Prometheus text), /vars (JSON snapshot, also at
+// /debug/vars) and the net/http/pprof handlers under /debug/pprof/.
+// -run-report <file> writes an end-of-run JSON summary (schema
+// adhocnet/run-report/v1) with the workload identity, per-phase wall
+// timings and every counter; it is written even when the run is
+// interrupted or fails, so a partial run still leaves a record.
+// -progress <interval> prints a heartbeat line to stderr. All three are
+// pure observers: results are bit-identical with and without them (see
+// DESIGN.md "Observability").
+//
 // Exit codes: 0 success, 1 simulation or I/O error, 2 flag or usage error,
 // 3 interrupted or timed out (checkpoint written when -checkpoint is set).
 package main
@@ -47,10 +60,12 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"adhocnet/internal/checkpoint"
 	"adhocnet/internal/core"
 	"adhocnet/internal/geom"
+	"adhocnet/internal/obs"
 	"adhocnet/internal/scenario"
 	"adhocnet/internal/spatial"
 )
@@ -91,7 +106,7 @@ func cliMain(args []string, out, errOut io.Writer) int {
 	}
 }
 
-func run(ctx context.Context, args []string, out, errOut io.Writer) error {
+func run(ctx context.Context, args []string, out, errOut io.Writer) (err error) {
 	registry := scenario.Default()
 	fs := flag.NewFlagSet("adhocsim", flag.ContinueOnError)
 	fs.SetOutput(errOut)
@@ -118,6 +133,11 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		timeout    = fs.Duration("timeout", 0, "cancel the run after this wall-clock duration (0 = no limit)")
 		ckptPath   = fs.String("checkpoint", "", "write completed iterations to <base>.<phase> checkpoint files when the run ends")
 		resumePath = fs.String("resume", "", "resume from <base>.<phase> checkpoint files written by -checkpoint")
+
+		// Observability flags (pure observers; results are unaffected).
+		obsAddr       = fs.String("obs", "", "serve live telemetry on this address (/metrics, /vars, /debug/pprof/) while the run executes")
+		reportPath    = fs.String("run-report", "", "write an end-of-run telemetry summary (JSON, schema "+obs.RunReportSchema+") to this file")
+		progressEvery = fs.Duration("progress", 0, "print a progress heartbeat to stderr at this interval (0 = off)")
 
 		// Random waypoint / random direction / rpgm-leader parameters.
 		vmin        = fs.Float64("vmin", 0.1, "waypoint/direction/rpgm: minimum speed (units per step)")
@@ -148,7 +168,19 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	lc := &lifecycle{ctx: ctx, checkpoint: *ckptPath, resume: *resumePath, errOut: errOut}
+	ob, err := startObservability(*obsAddr, *reportPath, *progressEvery, errOut)
+	if err != nil {
+		return err
+	}
+	// The report must be written even when the run is interrupted or fails
+	// (the named return carries the run's error past this defer); a partial
+	// run's telemetry is exactly what a post-mortem wants.
+	defer func() {
+		if ferr := ob.finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	lc := &lifecycle{ctx: ctx, checkpoint: *ckptPath, resume: *resumePath, errOut: errOut, obs: ob}
 
 	if *scenarioPath != "" {
 		sc, err := registry.LoadFile(*scenarioPath)
@@ -162,7 +194,8 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		var ignored []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "per-iter", "timeout", "checkpoint", "resume":
+			case "scenario", "per-iter", "timeout", "checkpoint", "resume",
+				"obs", "run-report", "progress":
 			case "iters":
 				sc.Config.Iterations = *iters
 			case "steps":
@@ -186,11 +219,13 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		if err := sc.Config.Validate(); err != nil {
 			return err
 		}
+		sc.Config.Obs = ob.registry()
 		spec, err := json.Marshal(sc.Spec)
 		if err != nil {
 			return err
 		}
 		lc.workload = fmt.Sprintf("scenario|%s|steps=%d", spec, sc.Config.Steps)
+		ob.describe(lc.workload, sc.Config)
 		return runScenario(lc, sc, *verbose, out)
 	}
 
@@ -217,7 +252,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *placement != "uniform" {
 		net.Placement = place
 	}
-	cfg := core.RunConfig{Iterations: *iters, Steps: *steps, Seed: *seed, Workers: *workers, Spatial: backend, Kinetic: kinetic}
+	cfg := core.RunConfig{Iterations: *iters, Steps: *steps, Seed: *seed, Workers: *workers, Spatial: backend, Kinetic: kinetic, Obs: ob.registry()}
 	// Everything that affects results goes into the workload hash; Workers,
 	// Spatial and Kinetic do not (the scheduler is worker-count invariant,
 	// and both the spatial backend and the kinetic path are bit-identical by
@@ -225,6 +260,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	// a different index, or on the other evaluation path.
 	lc.workload = fmt.Sprintf("flags|l=%g|d=%d|n=%d|model=%s|placement=%s|vmin=%g|vmax=%g|tpause=%d|pstationary=%g|ppause=%g|m=%g|steps=%d",
 		*l, *dim, *n, *model, *placement, *vmin, *vmax, *tpause, *pstationary, *ppause, *m, *steps)
+	ob.describe(lc.workload, cfg)
 
 	var res core.FixedRangeResult
 	err = lc.phase("fixed", cfg, core.FixedRangeRowWidth(1), fmt.Sprintf("r=%g", *r),
@@ -285,6 +321,7 @@ type lifecycle struct {
 	resume     string // base path to read, "" = fresh run
 	workload   string // canonical workload description, hashed into the files
 	errOut     io.Writer
+	obs        *observability // nil when no observability flag is set
 }
 
 // phase executes one run phase under the lifecycle contract: it wires a
@@ -293,6 +330,8 @@ type lifecycle struct {
 // when the phase ends for any reason — including interrupt and error — so a
 // later -resume can pick up from the completed iterations.
 func (lc *lifecycle) phase(name string, cfg core.RunConfig, rowWidth int, extra string, runPhase func(context.Context, core.RunConfig) error) error {
+	phaseStart := lc.obs.now()
+	defer func() { lc.obs.phaseDone(name, phaseStart) }()
 	if lc.checkpoint == "" && lc.resume == "" {
 		return runPhase(lc.ctx, cfg)
 	}
@@ -317,6 +356,7 @@ func (lc *lifecycle) phase(name string, cfg core.RunConfig, rowWidth int, extra 
 				return fmt.Errorf("resume %s: %w", path, err)
 			}
 			file = loaded
+			lc.obs.resumeLoaded()
 			fmt.Fprintf(lc.errOut, "adhocsim: resuming %s phase from %s (%d/%d iterations done)\n",
 				name, path, file.Done(), cfg.Iterations)
 		}
@@ -325,15 +365,155 @@ func (lc *lifecycle) phase(name string, cfg core.RunConfig, rowWidth int, extra 
 	runErr := runPhase(lc.ctx, cfg)
 	if lc.checkpoint != "" {
 		path := lc.checkpoint + "." + name
+		writeStart := lc.obs.now()
 		if err := file.Save(path); err != nil {
 			return errors.Join(runErr, fmt.Errorf("checkpoint: %w", err))
 		}
+		lc.obs.checkpointWritten(writeStart)
 		if runErr != nil {
 			fmt.Fprintf(lc.errOut, "adhocsim: checkpoint written to %s (%d/%d iterations done)\n",
 				path, file.Done(), cfg.Iterations)
 		}
 	}
 	return runErr
+}
+
+// observability bundles the invocation's telemetry surface: one live
+// registry shared by the simulation (via RunConfig.Obs), the optional HTTP
+// ops endpoint, the optional progress heartbeat, and the optional end-of-run
+// report. A nil *observability is the no-flags state: every method no-ops,
+// so call sites never branch on whether telemetry was requested.
+type observability struct {
+	reg      *obs.Registry
+	server   *obs.Server
+	progress *obs.Progress
+	report   string // run-report path, "" = none
+	errOut   io.Writer
+
+	start  time.Time
+	phases []obs.PhaseTiming
+
+	// Report identity, filled by describe once the workload is known.
+	workload   string
+	iterations int
+	steps      int
+	workers    int
+	split      string
+}
+
+// startObservability builds the bundle when any observability flag is set;
+// with none set it returns nil and the run carries no instrumentation at all
+// (RunConfig.Obs == nil, the absent fast path).
+func startObservability(addr, report string, progressEvery time.Duration, errOut io.Writer) (*observability, error) {
+	if addr == "" && report == "" && progressEvery <= 0 {
+		return nil, nil
+	}
+	ob := &observability{reg: obs.NewRegistry(), report: report, errOut: errOut, start: obs.Clock.Now()}
+	if addr != "" {
+		srv, err := obs.StartServer(addr, ob.reg)
+		if err != nil {
+			return nil, err
+		}
+		ob.server = srv
+		fmt.Fprintf(errOut, "adhocsim: serving telemetry on http://%s (/metrics, /vars, /debug/pprof/)\n", srv.Addr())
+	}
+	if progressEvery > 0 {
+		ob.progress = obs.StartProgress(errOut, ob.reg, "adhocsim", progressEvery)
+	}
+	return ob, nil
+}
+
+// registry returns the live registry, nil when observability is off.
+func (ob *observability) registry() *obs.Registry {
+	if ob == nil {
+		return nil
+	}
+	return ob.reg
+}
+
+// describe records the run's identity for the report header.
+func (ob *observability) describe(workload string, cfg core.RunConfig) {
+	if ob == nil {
+		return
+	}
+	ob.workload = workload
+	ob.iterations = cfg.Iterations
+	ob.steps = cfg.Steps
+	ob.workers = cfg.ResolvedWorkers()
+	ob.split = cfg.FormatLevels()
+}
+
+// now reads the clock for a later phaseDone/checkpointWritten; the zero time
+// when observability is off, so the no-flags run never touches the clock.
+func (ob *observability) now() time.Time {
+	if ob == nil {
+		return time.Time{}
+	}
+	return obs.Clock.Now()
+}
+
+// phaseDone closes one run phase: its wall time goes to the per-phase
+// counter (labelled, so the fixed and ranges phases chart separately) and to
+// the report's phase table.
+func (ob *observability) phaseDone(name string, start time.Time) {
+	if ob == nil {
+		return
+	}
+	d := obs.Clock.Since(start)
+	ob.reg.Counter(`adhocnet_run_phase_ns_total{phase="` + name + `"}`).Add(uint64(d.Nanoseconds()))
+	ob.phases = append(ob.phases, obs.PhaseTiming{Name: name, Seconds: d.Seconds()})
+}
+
+// checkpointWritten records one checkpoint save and its write latency.
+func (ob *observability) checkpointWritten(start time.Time) {
+	if ob == nil {
+		return
+	}
+	ob.reg.Counter("adhocnet_checkpoint_writes_total").Inc()
+	ob.reg.Histogram("adhocnet_checkpoint_write_ns").Observe(obs.Clock.Since(start).Nanoseconds())
+}
+
+// resumeLoaded counts one successful checkpoint restore (the iterations it
+// skipped are counted by the scheduler as restored iterations).
+func (ob *observability) resumeLoaded() {
+	if ob == nil {
+		return
+	}
+	ob.reg.Counter("adhocnet_checkpoint_resumes_total").Inc()
+}
+
+// finish tears the surface down in observer order — heartbeat first, then
+// the endpoint (joining its goroutine), then the report, which is written on
+// every exit path including interrupt and error.
+func (ob *observability) finish() error {
+	if ob == nil {
+		return nil
+	}
+	if ob.progress != nil {
+		ob.progress.Stop()
+	}
+	var errs []error
+	if ob.server != nil {
+		if err := ob.server.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if ob.report != "" {
+		rep := obs.NewRunReport(ob.reg)
+		rep.Workload = ob.workload
+		rep.Iterations = ob.iterations
+		rep.Steps = ob.steps
+		rep.Workers = ob.workers
+		rep.Split = ob.split
+		rep.WallSeconds = obs.Clock.Since(ob.start).Seconds()
+		rep.Phases = ob.phases
+		if err := rep.WriteFile(ob.report); err != nil {
+			errs = append(errs, err)
+		} else {
+			fmt.Fprintf(ob.errOut, "adhocsim: run report written to %s\n", ob.report)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // runScenario executes a scenario end-to-end: every fixed radius of the

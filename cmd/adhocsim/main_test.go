@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"adhocnet/internal/core"
+	"adhocnet/internal/obs"
 )
 
 // resumeUntilDone drives an interruptible run to completion: it retries with
@@ -403,5 +406,150 @@ func TestSpatialFlag(t *testing.T) {
 	}, &out, io.Discard)
 	if err != nil {
 		t.Fatalf("scenario-mode -spatial override rejected: %v", err)
+	}
+}
+
+// TestObservabilityFlags drives the full telemetry surface through the CLI:
+// a run with -obs, -run-report and -progress must produce stdout identical
+// to an uninstrumented run, announce the live endpoint, print heartbeats,
+// and leave behind a schema-valid report carrying the workload identity,
+// both phase timings and the deterministic iteration counters.
+func TestObservabilityFlags(t *testing.T) {
+	// Sized so the instrumented run spans many 1ms progress intervals.
+	base := []string{
+		"-l", "1024", "-n", "128", "-r", "250",
+		"-iters", "3", "-steps", "300", "-curve",
+	}
+	var want strings.Builder
+	if err := run(context.Background(), base, &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	report := filepath.Join(t.TempDir(), "report.json")
+	var out, errOut strings.Builder
+	args := append(append([]string{}, base...),
+		"-obs", "127.0.0.1:0", "-run-report", report, "-progress", "1ms")
+	if err := run(context.Background(), args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want.String() {
+		t.Errorf("observability perturbed stdout:\n--- plain ---\n%s\n--- instrumented ---\n%s", want.String(), out.String())
+	}
+	if !strings.Contains(errOut.String(), "serving telemetry on http://127.0.0.1:") {
+		t.Errorf("stderr does not announce the ops endpoint:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "adhocsim: progress") {
+		t.Errorf("stderr has no progress heartbeat:\n%s", errOut.String())
+	}
+
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.DecodeRunReport(data)
+	if err != nil {
+		t.Fatalf("report does not round-trip strictly: %v\n%s", err, data)
+	}
+	if !strings.HasPrefix(rep.Workload, "flags|l=1024|") {
+		t.Errorf("report workload = %q, want the flag-mode identity", rep.Workload)
+	}
+	if rep.Iterations != 3 || rep.Steps != 300 {
+		t.Errorf("report effort = %dx%d, want 3x300", rep.Iterations, rep.Steps)
+	}
+	// Both run phases (fixed evaluation, -curve range estimation) finish
+	// 3 iterations each: 6 total, none restored.
+	if got := rep.Counters[obs.MetricIterationsTotal]; got != 6 {
+		t.Errorf("iterations counter = %d, want 6", got)
+	}
+	if got := rep.Counters[obs.MetricIterationsRestored]; got != 0 {
+		t.Errorf("restored counter = %d, want 0", got)
+	}
+	var names []string
+	for _, p := range rep.Phases {
+		names = append(names, p.Name)
+	}
+	if fmt.Sprint(names) != "[fixed ranges]" {
+		t.Errorf("report phases = %v, want [fixed ranges]", names)
+	}
+	if rep.WallSeconds <= 0 {
+		t.Errorf("report wall_seconds = %v, want > 0", rep.WallSeconds)
+	}
+	if _, ok := rep.Counters[`adhocnet_run_phase_ns_total{phase="fixed"}`]; !ok {
+		t.Errorf("report lacks the labelled fixed-phase counter; counters: %v", rep.Counters)
+	}
+}
+
+// TestObservabilityServesDuringRun polls the live endpoint while a run is
+// executing: /metrics must expose Prometheus text and /vars the JSON
+// snapshot. The run is sized to outlast the scrape.
+func TestObservabilityServesDuringRun(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), []string{
+			"-l", "2048", "-n", "256", "-r", "400",
+			"-iters", "8", "-steps", "400", "-workers", "2",
+			"-obs", addr,
+		}, io.Discard, io.Discard)
+	}()
+	defer func() {
+		if err := <-done; err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+
+	get := func(path string) (string, bool) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", false
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err == nil && resp.StatusCode == http.StatusOK
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("endpoint never served the scheduler counters during the run")
+		}
+		if body, ok := get("/metrics"); ok && strings.Contains(body, "# TYPE adhocnet_run_iterations_total counter") {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if body, ok := get("/vars"); !ok || !strings.Contains(body, `"counters"`) {
+		t.Errorf("/vars is not serving the JSON snapshot during the run: %s", body)
+	}
+}
+
+// TestRunReportWrittenOnInterrupt pins the post-mortem contract: a timed-out
+// run still exits 3 AND leaves a valid report behind.
+func TestRunReportWrittenOnInterrupt(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "report.json")
+	var out, errOut strings.Builder
+	code := cliMain([]string{
+		"-l", "4096", "-n", "512", "-r", "400",
+		"-iters", "50", "-steps", "400", "-workers", "2",
+		"-timeout", "100ms", "-run-report", report,
+	}, &out, &errOut)
+	if code != 3 {
+		t.Fatalf("exit code %d, want 3 (stderr: %s)", code, errOut.String())
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("no report written on timeout: %v", err)
+	}
+	rep, err := obs.DecodeRunReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters[obs.MetricIterationsTotal] >= 50 {
+		t.Errorf("interrupted run reports %d iterations, want < 50", rep.Counters[obs.MetricIterationsTotal])
 	}
 }

@@ -5,6 +5,12 @@
 //	repro -list
 //	repro -experiment fig2 -preset quick
 //	repro -experiment all -preset paper -out results/
+//
+// -obs <addr> serves live telemetry (/metrics, /vars, /debug/pprof/) while
+// the experiments run, and -run-report <file> writes an end-of-run JSON
+// summary of every counter the simulations accumulated — the same surface
+// as adhocsim's; see DESIGN.md "Observability". Both are pure observers:
+// experiment output is bit-identical with and without them.
 package main
 
 import (
@@ -18,25 +24,28 @@ import (
 
 	"adhocnet/internal/core"
 	"adhocnet/internal/experiments"
+	"adhocnet/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) (err error) {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	var (
-		expID   = fs.String("experiment", "all", "experiment id or 'all' (see -list)")
-		preset  = fs.String("preset", "quick", "effort preset: quick, paper, scale or sweep")
-		outDir  = fs.String("out", "", "directory for CSV output (optional)")
-		list    = fs.Bool("list", false, "list experiments and exit")
-		seed    = fs.Uint64("seed", 0, "override preset seed (0 = keep preset default)")
-		workers = fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		kinetic = fs.String("kinetic", "auto", "trajectory evaluation: auto, on, off — performance only, results are identical")
+		expID      = fs.String("experiment", "all", "experiment id or 'all' (see -list)")
+		preset     = fs.String("preset", "quick", "effort preset: quick, paper, scale or sweep")
+		outDir     = fs.String("out", "", "directory for CSV output (optional)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		seed       = fs.Uint64("seed", 0, "override preset seed (0 = keep preset default)")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		kinetic    = fs.String("kinetic", "auto", "trajectory evaluation: auto, on, off — performance only, results are identical")
+		obsAddr    = fs.String("obs", "", "serve live telemetry on this address (/metrics, /vars, /debug/pprof/) while experiments run")
+		reportPath = fs.String("run-report", "", "write an end-of-run telemetry summary (JSON, schema "+obs.RunReportSchema+") to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +66,42 @@ func run(args []string, out io.Writer) error {
 	p.Workers = *workers
 	if p.Kinetic, err = core.ParseKineticMode(*kinetic); err != nil {
 		return err
+	}
+
+	// One registry spans every selected experiment, so the report aggregates
+	// the whole invocation. Everything below observes; p.Obs == nil when no
+	// observability flag is set, the absent fast path.
+	var start time.Time
+	if *obsAddr != "" || *reportPath != "" {
+		p.Obs = obs.NewRegistry()
+		start = obs.Clock.Now()
+	}
+	if *obsAddr != "" {
+		srv, err := obs.StartServer(*obsAddr, p.Obs)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(errOut, "repro: serving telemetry on http://%s (/metrics, /vars, /debug/pprof/)\n", srv.Addr())
+	}
+	if *reportPath != "" {
+		// Written on every exit path (the named return carries the run's
+		// error past this defer), so an interrupted sweep still leaves its
+		// telemetry behind.
+		defer func() {
+			rep := obs.NewRunReport(p.Obs)
+			rep.Workload = fmt.Sprintf("repro|preset=%s|experiment=%s|seed=%d", p.Name, *expID, p.Seed)
+			rep.Iterations = p.Iterations
+			rep.Steps = p.Steps
+			rep.WallSeconds = obs.Clock.Since(start).Seconds()
+			if werr := rep.WriteFile(*reportPath); werr != nil {
+				if err == nil {
+					err = werr
+				}
+				return
+			}
+			fmt.Fprintf(errOut, "repro: run report written to %s\n", *reportPath)
+		}()
 	}
 
 	var selected []experiments.Experiment

@@ -1,15 +1,18 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"adhocnet/internal/obs"
 )
 
 func TestListExperiments(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"fig2", "fig9", "t1", "t3", "ext-energy"} {
@@ -23,7 +26,7 @@ func TestRunSingleExperimentWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
 	// t1 is the cheapest experiment (no mobile simulation).
-	if err := run([]string{"-experiment", "t1", "-preset", "quick", "-out", dir}, &out); err != nil {
+	if err := run([]string{"-experiment", "t1", "-preset", "quick", "-out", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "T1") {
@@ -47,7 +50,7 @@ func TestRunSingleExperimentWritesCSV(t *testing.T) {
 
 func TestRunCommaSeparatedIDs(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-experiment", "t1,t3", "-preset", "quick"}, &out); err != nil {
+	if err := run([]string{"-experiment", "t1,t3", "-preset", "quick"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "T1") || !strings.Contains(out.String(), "gap-pattern") {
@@ -62,7 +65,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for name, args := range cases {
 		var out strings.Builder
-		if err := run(args, &out); err == nil {
+		if err := run(args, &out, io.Discard); err == nil {
 			t.Errorf("%s: no error", name)
 		}
 	}
@@ -70,10 +73,10 @@ func TestRunErrors(t *testing.T) {
 
 func TestSeedOverrideChangesResults(t *testing.T) {
 	var a, b strings.Builder
-	if err := run([]string{"-experiment", "t3", "-preset", "quick", "-seed", "5"}, &a); err != nil {
+	if err := run([]string{"-experiment", "t3", "-preset", "quick", "-seed", "5"}, &a, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-experiment", "t3", "-preset", "quick", "-seed", "6"}, &b); err != nil {
+	if err := run([]string{"-experiment", "t3", "-preset", "quick", "-seed", "6"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	stripA := stripTimings(a.String())
@@ -93,4 +96,33 @@ func stripTimings(s string) string {
 		kept = append(kept, line)
 	}
 	return strings.Join(kept, "\n")
+}
+
+// TestRunReportFlag pins repro's telemetry summary: the report decodes
+// strictly, names the invocation, and carries the iteration counters the
+// experiment's simulations accumulated.
+func TestRunReportFlag(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "report.json")
+	var out strings.Builder
+	// fig2 runs real mobile simulations, so the scheduler counters move.
+	if err := run([]string{"-experiment", "fig2", "-preset", "quick", "-run-report", report}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.DecodeRunReport(data)
+	if err != nil {
+		t.Fatalf("report does not round-trip strictly: %v\n%s", err, data)
+	}
+	if rep.Workload != "repro|preset=quick|experiment=fig2|seed=1" {
+		t.Errorf("report workload = %q", rep.Workload)
+	}
+	if rep.Counters[obs.MetricIterationsTotal] == 0 {
+		t.Error("report counts no iterations for a simulating experiment")
+	}
+	if rep.WallSeconds <= 0 {
+		t.Errorf("report wall_seconds = %v, want > 0", rep.WallSeconds)
+	}
 }

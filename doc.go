@@ -51,12 +51,24 @@
 // search vs brute force) and worker-invariance tests enforce them in CI,
 // including a -race job.
 //
+// Every run can be watched without being perturbed: internal/obs provides
+// atomic counters/gauges/histograms behind a nil-safe Registry threaded
+// through the scheduler, the kinetic pipeline and both spatial backends,
+// exposed via `-obs <addr>` (live /metrics, /vars and /debug/pprof/ on
+// adhocsim and repro), `-run-report <file>` (a strict-JSON end-of-run
+// summary, schema adhocnet/run-report/v1) and `-progress` heartbeats.
+// Results are bit-identical with observability absent, disabled or live
+// (matrix-tested), wall-clock access is confined to obs.Clock, and a
+// disabled registry is CI-gated to cost within 2% of none at all — see
+// DESIGN.md "Observability".
+//
 // The invariants those tests check at run time are also enforced at build
-// time by cmd/adhoclint (internal/analysis): five project-specific
+// time by cmd/adhoclint (internal/analysis): six project-specific
 // analyzers covering seed-replayability (detrand), zero-alloc hot paths
 // (hotpath, driven by //adhoc:hotpath marks), ctx-first lifecycle plumbing
-// (ctxfirst), strict JSON decoding (strictjson), and canonical
-// squared-distance arithmetic (geomdist). CI's lint job and the analysis
+// (ctxfirst), strict JSON decoding (strictjson), canonical
+// squared-distance arithmetic (geomdist), and obs.Clock-routed wall-clock
+// access (obsclock). CI's lint job and the analysis
 // package's self-test both require `adhoclint ./...` to be diagnostic-free.
 //
 // See DESIGN.md for the system inventory and key algorithmic decisions. The

@@ -49,7 +49,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, HotPath, CtxFirst, StrictJSON, GeomDist}
+	return []*Analyzer{DetRand, HotPath, CtxFirst, StrictJSON, GeomDist, ObsClock}
 }
 
 // Run applies the analyzers to every package and returns the surviving

@@ -10,6 +10,28 @@ func TestDetRandSkipsUnscopedPackages(t *testing.T) {
 	testFixtureSilent(t, DetRand, "detrand/outside")
 }
 
+// TestDetRandSanctionsWallClockInObs pins the one wall-clock exemption:
+// package obs may read the clock (obsclock separately confines it to
+// clock.go), while detrand's randomness and map-order rules still apply.
+func TestDetRandSanctionsWallClockInObs(t *testing.T) {
+	testFixture(t, DetRand, "detrand/obs")
+}
+
+func TestObsClockFixture(t *testing.T) {
+	testFixture(t, ObsClock, "obsclock/core")
+}
+
+// TestObsClockConfinesObsToClockFile checks both sides inside package obs:
+// clock.go is the sanctioned implementation file, every sibling file is
+// fenced.
+func TestObsClockConfinesObsToClockFile(t *testing.T) {
+	testFixture(t, ObsClock, "obsclock/obs")
+}
+
+func TestObsClockSkipsUnscopedPackages(t *testing.T) {
+	testFixtureSilent(t, ObsClock, "obsclock/outside")
+}
+
 func TestHotPathFixture(t *testing.T) {
 	testFixture(t, HotPath, "hotpath/hot")
 }

@@ -31,12 +31,18 @@ var detrandScope = map[string]bool{
 	"scenario":    true,
 	"checkpoint":  true,
 	"experiments": true,
+	"obs":         true,
 }
 
 func runDetRand(pass *Pass) error {
-	if !detrandScope[pkgShortName(pass.Pkg.Path)] {
+	short := pkgShortName(pass.Pkg.Path)
+	if !detrandScope[short] {
 		return nil
 	}
+	// internal/obs is the sanctioned home of wall-clock reads (obs.Clock);
+	// its randomness and map-iteration rules still apply, and the obsclock
+	// analyzer separately confines its time-package use to clock.go.
+	allowWallClock := short == "obs"
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
 		for _, imp := range f.Imports {
@@ -48,16 +54,18 @@ func runDetRand(pass *Pass) error {
 				pass.Reportf(imp.Pos(), "import of %s: simulation code must draw randomness from internal/xrand so a seed replays bit-identically", path)
 			}
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			if sel, ok := n.(*ast.SelectorExpr); ok {
-				for _, name := range []string{"Now", "Since"} {
-					if usedPkgFunc(info, sel, "time", name) {
-						pass.Reportf(sel.Pos(), "time.%s in a simulation package: wall-clock reads are nondeterministic; keep timing in the CLIs or annotate the output as non-reproducible", name)
+		if !allowWallClock {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					for _, name := range []string{"Now", "Since"} {
+						if usedPkgFunc(info, sel, "time", name) {
+							pass.Reportf(sel.Pos(), "time.%s in a simulation package: wall-clock reads are nondeterministic; reach wall time through obs.Clock (timing metrics only) or keep it in the CLIs", name)
+						}
 					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
 	for _, fd := range funcDecls(pass.Pkg) {
 		fd := fd

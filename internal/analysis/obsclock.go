@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// ObsClock confines wall-clock access to the single choke point the
+// observability design demands: simulation packages may reach wall time only
+// through obs.Clock (so a disabled registry provably performs no clock
+// reads, and every read is auditable in one place), and inside internal/obs
+// itself the time-package clock constructors are confined to clock.go. The
+// check complements detrand: detrand forbids Now/Since as nondeterminism
+// sources, obsclock fences the whole clock surface — tickers, timers and
+// deadline helpers included — onto the obs.Clock route.
+var ObsClock = &Analyzer{
+	Name: "obsclock",
+	Doc:  "confine wall-clock access to obs.Clock (sim packages) and clock.go (package obs)",
+	Run:  runObsClock,
+}
+
+// obsClockFuncs is the fenced clock surface of package time. Pure-duration
+// helpers (ParseDuration, Duration arithmetic) and civil-time construction
+// (Date, Unix) are not clock reads and stay allowed.
+var obsClockFuncs = []string{
+	"Now", "Since", "Until", "After", "Tick", "AfterFunc", "NewTicker", "NewTimer",
+}
+
+func runObsClock(pass *Pass) error {
+	short := pkgShortName(pass.Pkg.Path)
+	inObs := short == "obs"
+	if !inObs && !detrandScope[short] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if inObs {
+			// clock.go IS obs.Clock's implementation: the one sanctioned file.
+			pos := pass.Fset.Position(f.Pos())
+			if filepath.Base(pos.Filename) == "clock.go" {
+				continue
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range obsClockFuncs {
+				if usedPkgFunc(info, sel, "time", name) {
+					if inObs {
+						pass.Reportf(sel.Pos(), "time.%s outside clock.go: package obs reads the clock only through obs.Clock's implementation file", name)
+					} else {
+						pass.Reportf(sel.Pos(), "time.%s in a simulation package: reach wall time through obs.Clock so clock access stays auditable and gated on a live registry", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

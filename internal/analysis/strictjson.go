@@ -20,6 +20,7 @@ var StrictJSON = &Analyzer{
 var strictJSONScope = map[string]bool{
 	"scenario":   true,
 	"checkpoint": true,
+	"obs":        true, // run reports are archived and diffed; typos must fail loudly
 }
 
 func runStrictJSON(pass *Pass) error {

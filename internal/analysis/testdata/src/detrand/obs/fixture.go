@@ -1,0 +1,28 @@
+// Package obs is the detrand fixture for the one sanctioned wall-clock
+// package: time.Now/Since are allowed here (obs.Clock is the module's clock
+// choke point; the obsclock analyzer separately confines them to clock.go),
+// while the randomness and map-iteration rules still apply in full.
+package obs
+
+import (
+	"math/rand" // want `import of math/rand: simulation code must draw randomness from internal/xrand`
+	"time"
+)
+
+// Draw uses the forbidden import so it compiles; only the import is flagged.
+func Draw() int { return rand.Int() }
+
+// Timing reads the wall clock; detrand stays silent in package obs.
+func Timing() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Sum folds map values in iteration order: still flagged in obs.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,40 @@
+// Package core is an obsclock fixture: a simulation package in which every
+// time-package clock read, ticker and timer must route through obs.Clock.
+package core
+
+import "time"
+
+// Timing reads the clock directly; every fenced function is flagged.
+func Timing() time.Duration {
+	start := time.Now()           // want `time\.Now in a simulation package: reach wall time through obs\.Clock`
+	deadline := time.Until(start) // want `time\.Until in a simulation package: reach wall time through obs\.Clock`
+	_ = deadline
+	return time.Since(start) // want `time\.Since in a simulation package: reach wall time through obs\.Clock`
+}
+
+// Waiting constructs tickers and timers directly; the whole clock surface is
+// fenced, not just Now/Since.
+func Waiting() {
+	t := time.NewTicker(time.Second) // want `time\.NewTicker in a simulation package: reach wall time through obs\.Clock`
+	t.Stop()
+	tm := time.NewTimer(time.Second) // want `time\.NewTimer in a simulation package: reach wall time through obs\.Clock`
+	tm.Stop()
+	select {
+	case <-time.After(time.Millisecond): // want `time\.After in a simulation package: reach wall time through obs\.Clock`
+	default:
+	}
+}
+
+// Durations uses pure duration arithmetic and parsing: not clock reads, not
+// flagged.
+func Durations() time.Duration {
+	d, _ := time.ParseDuration("1s")
+	return d * 2
+}
+
+// Allowed demonstrates the suppression directive for the rare legitimate
+// exception.
+func Allowed() time.Time {
+	//adhoclint:allow obsclock fixture: demonstration of an inline suppression
+	return time.Now()
+}

@@ -1,0 +1,22 @@
+// Package obs is the obsclock fixture for the observability package itself:
+// time-package clock access is sanctioned only in clock.go (this file), the
+// analogue of internal/obs's obs.Clock implementation.
+package obs
+
+import "time"
+
+// Clock is the fixture's stand-in for the sanctioned clock value.
+var Clock SystemClock
+
+// SystemClock wraps the time package's clock reads; nothing in this file is
+// flagged.
+type SystemClock struct{}
+
+// Now reads the wall clock.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// Since is Now().Sub(t).
+func (SystemClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewTicker constructs a wall-clock ticker.
+func (SystemClock) NewTicker(d time.Duration) *time.Ticker { return time.NewTicker(d) }

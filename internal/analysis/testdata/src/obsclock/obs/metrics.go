@@ -1,0 +1,14 @@
+package obs
+
+import "time"
+
+// Stamp bypasses the Clock choke point from a sibling file; that defeats the
+// single-audit-point design, so it is flagged.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now outside clock\.go: package obs reads the clock only through obs\.Clock`
+}
+
+// Elapsed is fine: it routes through the sanctioned Clock value.
+func Elapsed(start time.Time) time.Duration {
+	return Clock.Since(start)
+}

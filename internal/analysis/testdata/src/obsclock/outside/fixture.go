@@ -1,0 +1,15 @@
+// Package outside sits outside the obsclock scope (not a simulation package,
+// not obs): CLIs and reporting code may read the clock directly.
+package outside
+
+import "time"
+
+// Stamp reads the wall clock; obsclock stays silent here.
+func Stamp() time.Time { return time.Now() }
+
+// Wait uses a raw ticker; also fine outside the fenced packages.
+func Wait() {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	<-t.C
+}

@@ -27,6 +27,7 @@ import (
 	"adhocnet/internal/geom"
 	"adhocnet/internal/graph"
 	"adhocnet/internal/mobility"
+	"adhocnet/internal/obs"
 	"adhocnet/internal/spatial"
 )
 
@@ -98,6 +99,17 @@ type RunConfig struct {
 	// bit-identical to an uninterrupted one. Sink never affects results,
 	// only which iterations are recomputed.
 	Sink IterationSink
+	// Obs, when non-nil, receives run telemetry: iteration progress, phase
+	// timing histograms, scheduler pipeline counters and the kinetic/spatial
+	// operation counters drained from every workspace (see internal/obs and
+	// obsmetrics.go). Observability is excluded from workload identity and
+	// can never perturb results: all counters are deterministic functions of
+	// the workload, wall-clock reads happen only when the registry is live
+	// (obs.Registry.Enabled) and feed timing metrics only, and a nil or
+	// disabled registry reduces the instrumentation to nil-handle no-ops.
+	// The determinism tests pin results bit-identical across nil, disabled
+	// and enabled registries.
+	Obs *obs.Registry
 }
 
 // Validate checks the run configuration.

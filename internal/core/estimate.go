@@ -150,10 +150,11 @@ func EstimateRanges(ctx context.Context, net Network, cfg RunConfig, targets Ran
 	}
 	rowWidth := targets.RowWidth()
 
+	rm := newRunMetrics(cfg.Obs)
 	err := forEachIteration(ctx, cfg, func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error) {
 		profiles := make([]*graph.Profile, 0, cfg.Steps)
 		criticals := make([]float64, 0, cfg.Steps)
-		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws, rm,
 			func() *estimateSnap { return &estimateSnap{} },
 			func(_ int, pts []geom.Point, moved []int32, ws *graph.Workspace, out *estimateSnap) {
 				p := ws.ProfileKinetic(pts, net.Region.Dim, moved)

@@ -85,12 +85,13 @@ func EvaluateFixedRanges(ctx context.Context, net Network, cfg RunConfig, radii 
 		perIter[i] = make([]IterationResult, cfg.Iterations)
 	}
 
+	rm := newRunMetrics(cfg.Obs)
 	err := forEachIteration(ctx, cfg, func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error) {
 		accs := make([]fixedAccumulator, len(radii))
 		for i := range accs {
 			accs[i].minLargest = net.Nodes + 1
 		}
-		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws, rm,
 			func() []radiusObs { return make([]radiusObs, len(radii)) },
 			func(_ int, pts []geom.Point, moved []int32, ws *graph.Workspace, out []radiusObs) {
 				p := ws.ProfileKinetic(pts, net.Region.Dim, moved)
@@ -317,9 +318,10 @@ func DirectFixedRange(ctx context.Context, net Network, cfg RunConfig, radius fl
 	}
 
 	iters := make([]IterationResult, cfg.Iterations)
+	rm := newRunMetrics(cfg.Obs)
 	err := forEachIteration(ctx, cfg, func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error) {
 		acc := fixedAccumulator{minLargest: net.Nodes + 1}
-		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws, rm,
 			func() *radiusObs { return &radiusObs{} },
 			func(_ int, pts []geom.Point, moved []int32, ws *graph.Workspace, out *radiusObs) {
 				g := ws.PointGraphKinetic(pts, net.Region.Dim, radius, moved)

@@ -129,6 +129,8 @@ func forEachIteration(ctx context.Context, cfg RunConfig,
 	if cfg.Sink != nil && restore == nil {
 		return fmt.Errorf("core: this entry point does not support checkpoint/resume (RunConfig.Sink must be nil)")
 	}
+	rm := newRunMetrics(cfg.Obs)
+	rm.plannedIterations(cfg.Iterations)
 	seeds := xrand.New(cfg.Seed).SplitN(cfg.Iterations)
 
 	// Restore already-completed iterations before spawning anything, in
@@ -145,6 +147,7 @@ func forEachIteration(ctx context.Context, cfg RunConfig,
 				return err
 			}
 			skip[i] = true
+			rm.restoredIteration()
 		}
 	}
 
@@ -181,10 +184,12 @@ func forEachIteration(ctx context.Context, cfg RunConfig,
 					continue // canceled: drain the queue without simulating
 				}
 				row, err := runIteration(runCtx, iter, seeds[iter], ws, inner, run)
+				rm.flushWorkspace(ws)
 				if err != nil {
 					if isCancellation(err) {
 						continue
 					}
+					rm.iterationError(err)
 					var pe *PanicError
 					record(err, errors.As(err, &pe))
 					continue
@@ -192,6 +197,7 @@ func forEachIteration(ctx context.Context, cfg RunConfig,
 				if cfg.Sink != nil {
 					cfg.Sink.Commit(iter, row)
 				}
+				rm.iterationDone()
 			}
 		}(inner)
 	}
@@ -261,7 +267,7 @@ func runIteration(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Work
 // displacement), which is also what primes the workspace caches. The pooled
 // path always passes nil: its evaluators see snapshots out of order from
 // rotating ring buffers, so there is nothing coherent to repair from.
-func runTrajectory[R any](ctx context.Context, iter int, net Network, steps, inner int, kin KineticMode, rng *xrand.Rand, ws *graph.Workspace,
+func runTrajectory[R any](ctx context.Context, iter int, net Network, steps, inner int, kin KineticMode, rng *xrand.Rand, ws *graph.Workspace, rm *runMetrics,
 	newSlot func() R,
 	eval func(step int, pts []geom.Point, moved []int32, ws *graph.Workspace, out R),
 	merge func(step int, out R),
@@ -272,6 +278,7 @@ func runTrajectory[R any](ctx context.Context, iter int, net Network, steps, inn
 	}
 	kinetic := kin.enabled(steps, inner)
 	if inner <= 1 || steps < 2 || kinetic {
+		rm.sequentialTrajectory()
 		ws.SetKinetic(kinetic)
 		var mover mobility.Mover
 		if kinetic {
@@ -287,23 +294,30 @@ func runTrajectory[R any](ctx context.Context, iter int, net Network, steps, inn
 			}
 			var moved []int32
 			if t > 0 {
+				start := rm.timerStart()
 				if err := guardedStep(iter, t, state); err != nil {
 					return err
 				}
+				rm.observeProduce(start)
 				if kinetic {
 					moved = mover.Moved()
 				}
 			}
+			start := rm.timerStart()
 			if err := guardedEval(iter, t, state.Positions(), moved, ws, out, eval); err != nil {
 				return err
 			}
+			rm.observeEval(start)
+			start = rm.timerStart()
 			if err := guardedMerge(iter, t, out, merge); err != nil {
 				return err
 			}
+			rm.observeMerge(start)
 		}
 		return nil
 	}
-	return runSnapshotPool(ctx, iter, state, net.Nodes, steps, inner, ws.SpatialBackend(), newSlot, eval, merge)
+	rm.pooledTrajectory()
+	return runSnapshotPool(ctx, iter, state, net.Nodes, steps, inner, ws.SpatialBackend(), rm, newSlot, eval, merge)
 }
 
 // posRings pools position-buffer rings across pooled-trajectory iterations,
@@ -354,7 +368,7 @@ func (r *posRing) resize(ring, nodes int) [][]geom.Point {
 // An evaluator that panicked abandons its pooled workspace instead of
 // releasing it (the panic may have left the workspace mid-update).
 func runSnapshotPool[R any](ctx context.Context, iter int, state mobility.State, nodes, steps, inner int,
-	backend spatial.Backend,
+	backend spatial.Backend, rm *runMetrics,
 	newSlot func() R,
 	eval func(step int, pts []geom.Point, moved []int32, ws *graph.Workspace, out R),
 	merge func(step int, out R),
@@ -410,16 +424,28 @@ func runSnapshotPool[R any](ctx context.Context, iter int, state mobility.State,
 		for ; t < steps; t++ {
 			select {
 			case <-credits:
-			case <-done:
-				return
+			default:
+				// No free ring entry: the producer is ahead of the merge
+				// frontier and stalls on backpressure. The extra non-blocking
+				// attempt above keeps the uncontended path select-free.
+				stallStart := rm.timerStart()
+				select {
+				case <-credits:
+					rm.producerStalled(stallStart)
+				case <-done:
+					return
+				}
 			}
 			if t > 0 {
+				start := rm.timerStart()
 				if err := guardedStep(iter, t, state); err != nil {
 					fail(err)
 					return
 				}
+				rm.observeProduce(start)
 			}
 			copy(bufs[t%ring], state.Positions())
+			rm.observeRing(ring - len(credits))
 			tasks <- t
 		}
 	}()
@@ -437,6 +463,7 @@ func runSnapshotPool[R any](ctx context.Context, iter int, state mobility.State,
 			healthy := true
 			defer func() {
 				if healthy {
+					rm.flushWorkspace(ws)
 					graph.ReleaseWorkspace(ws)
 				}
 			}()
@@ -444,11 +471,13 @@ func runSnapshotPool[R any](ctx context.Context, iter int, state mobility.State,
 				if poolCtx.Err() != nil {
 					continue // canceled: drain the ring without evaluating
 				}
+				start := rm.timerStart()
 				if err := guardedEval(iter, t, bufs[t%ring], nil, ws, slots[t%ring], eval); err != nil {
 					healthy = false // the workspace may be mid-update: abandon it
 					fail(err)
 					continue
 				}
+				rm.observeEval(start)
 				results <- t
 			}
 		}()
@@ -466,13 +495,16 @@ reduce:
 		case <-done:
 			break reduce
 		}
+		rm.observeLag(t - next)
 		filled[t%ring] = true
 		for next < steps && filled[next%ring] {
 			filled[next%ring] = false
+			start := rm.timerStart()
 			if err := guardedMerge(iter, next, slots[next%ring], merge); err != nil {
 				fail(err)
 				break reduce
 			}
+			rm.observeMerge(start)
 			credits <- struct{}{}
 			next++
 		}

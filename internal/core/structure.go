@@ -112,9 +112,10 @@ func EvaluateStructure(ctx context.Context, net Network, cfg RunConfig, radius f
 
 	accs := make([]iterAcc, cfg.Iterations)
 
+	rm := newRunMetrics(cfg.Obs)
 	err := forEachIteration(ctx, cfg, func(ctx context.Context, iter int, rng *xrand.Rand, ws *graph.Workspace, inner int) ([]float64, error) {
 		acc := &accs[iter]
-		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws,
+		err := runTrajectory(ctx, iter, net, cfg.Steps, inner, cfg.Kinetic, rng, ws, rm,
 			func() *structSnap { return &structSnap{} },
 			func(_ int, pts []geom.Point, moved []int32, ws *graph.Workspace, out *structSnap) {
 				g := ws.PointGraphKinetic(pts, net.Region.Dim, radius, moved)

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"adhocnet/internal/core"
+	"adhocnet/internal/obs"
 	"adhocnet/internal/report"
 )
 
@@ -36,6 +37,10 @@ type Preset struct {
 	// Like Workers it is a pure performance knob: every experiment's output
 	// is bit-identical across modes. The zero value is auto.
 	Kinetic core.KineticMode
+	// Obs, when non-nil, receives run telemetry from every simulation an
+	// experiment performs (see core.RunConfig.Obs). Observability never
+	// perturbs experiment output; nil runs with instrumentation absent.
+	Obs *obs.Registry
 }
 
 // Quick returns the CI-scale preset.

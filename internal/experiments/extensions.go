@@ -147,6 +147,7 @@ func extQuantileExperiment() Experiment {
 				Seed:       p.seedFor("ext-quantile/mobile"),
 				Workers:    p.Workers,
 				Kinetic:    p.Kinetic,
+				Obs:        p.Obs,
 			}
 			est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 			if err != nil {

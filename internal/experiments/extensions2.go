@@ -48,6 +48,7 @@ func extStructureExperiment() Experiment {
 				Seed:       p.seedFor("ext-structure/eval"),
 				Workers:    p.Workers,
 				Kinetic:    p.Kinetic,
+				Obs:        p.Obs,
 			}
 			title := fmt.Sprintf("Graph structure at the operating ranges (l=%v, n=%d)", pt.L, pt.N)
 			table := report.NewTable(title,
@@ -203,6 +204,7 @@ func extMobilityQuantityExperiment() Experiment {
 					Seed:       p.seedFor("ext-quantity/" + c.name),
 					Workers:    p.Workers,
 					Kinetic:    p.Kinetic,
+					Obs:        p.Obs,
 				}
 				est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 				if err != nil {

@@ -110,6 +110,7 @@ func extDataMuleExperiment() Experiment {
 				Seed:       p.seedFor("ext-datamule/estimate"),
 				Workers:    p.Workers,
 				Kinetic:    p.Kinetic,
+				Obs:        p.Obs,
 			}
 			est, err := core.EstimateRanges(context.Background(), net, cfg,
 				core.RangeTargets{TimeFractions: []float64{0.9, 0.1, 0}})
@@ -131,6 +132,7 @@ func extDataMuleExperiment() Experiment {
 					Seed:       p.seedFor(fmt.Sprintf("ext-datamule/run/%v", f)),
 					Workers:    p.Workers,
 					Kinetic:    p.Kinetic,
+					Obs:        p.Obs,
 				}
 				res, err := dissemination.Run(net, runCfg, dissemination.Config{
 					Radius:         e.Mean,

@@ -50,6 +50,7 @@ func runSizeSweep(p Preset, model modelForSide, label string) ([]sweepPoint, err
 			Seed:       p.seedFor(fmt.Sprintf("%s/l=%v", label, l)),
 			Workers:    p.Workers,
 			Kinetic:    p.Kinetic,
+			Obs:        p.Obs,
 		}
 		est, err := core.EstimateRanges(context.Background(), net, cfg, core.PaperTargets())
 		if err != nil {
@@ -181,6 +182,7 @@ func largestComponentFigure(id, title, label string, p Preset, model modelForSid
 			Seed:       p.seedFor(fmt.Sprintf("%s/eval/l=%v", label, pt.L)),
 			Workers:    p.Workers,
 			Kinetic:    p.Kinetic,
+			Obs:        p.Obs,
 		}
 		res, err := core.EvaluateFixedRanges(context.Background(), net, cfg, radii)
 		if err != nil {
@@ -329,6 +331,7 @@ func parameterSweep(p Preset, label string, values []float64, configure func(v f
 			Seed:       p.seedFor(fmt.Sprintf("%s/v=%v", label, v)),
 			Workers:    p.Workers,
 			Kinetic:    p.Kinetic,
+			Obs:        p.Obs,
 		}
 		est, err := core.EstimateRanges(context.Background(), net, cfg, core.RangeTargets{TimeFractions: []float64{1}})
 		if err != nil {

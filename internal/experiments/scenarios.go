@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"io/fs"
 	"sort"
-	"time"
 
 	"adhocnet"
 	"adhocnet/internal/core"
+	"adhocnet/internal/obs"
 	"adhocnet/internal/report"
 	"adhocnet/internal/scenario"
 )
@@ -62,13 +62,14 @@ func extScenariosExperiment() Experiment {
 					cfg.Steps = p.Steps
 				}
 				cfg.Workers = p.Workers
-				start := time.Now() //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
+				cfg.Obs = p.Obs
+				start := obs.Clock.Now() // the timing column is explicitly non-reproducible wall-clock output
 				est, err := core.EstimateRanges(context.Background(), sc.Network, cfg,
 					core.RangeTargets{TimeFractions: []float64{1, 0.9}})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s: %w", file, err)
 				}
-				elapsed := time.Since(start) //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
+				elapsed := obs.Clock.Since(start)
 				r100, err := est.TimeFraction(1)
 				if err != nil {
 					return nil, err

@@ -3,11 +3,11 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"adhocnet/internal/core"
 	"adhocnet/internal/geom"
 	"adhocnet/internal/mobility"
+	"adhocnet/internal/obs"
 	"adhocnet/internal/report"
 )
 
@@ -64,14 +64,15 @@ func extSweepExperiment() Experiment {
 							Seed:       p.seedFor(fmt.Sprintf("ext-sweep/%v/%d", l, iters)),
 							Workers:    p.Workers,
 							Kinetic:    mode,
+							Obs:        p.Obs,
 						}
-						start := time.Now() //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
+						start := obs.Clock.Now() // the timing column is explicitly non-reproducible wall-clock output
 						est, err := core.EstimateRanges(context.Background(), net, cfg,
 							core.RangeTargets{TimeFractions: []float64{1, 0.9}})
 						if err != nil {
 							return nil, err
 						}
-						elapsed := time.Since(start) //adhoclint:allow detrand the timing column is explicitly non-reproducible wall-clock output
+						elapsed := obs.Clock.Since(start)
 						r100, err := est.TimeFraction(1)
 						if err != nil {
 							return nil, err

@@ -134,12 +134,18 @@ func (ws *Workspace) ProfileKinetic(pts []geom.Point, dim int, moved []int32) *P
 		// The 1-D profile is already O(n log n) sorted gaps; no repair path.
 		return ws.Profile(pts, dim)
 	}
-	if moved != nil && k.treeOK && k.samePts(pts) &&
-		float64(len(moved)) <= kineticDirtyFraction*float64(n) {
-		if edges, ok := ws.kineticMST(pts, moved); ok {
-			return ws.replayProfile(n, edges)
+	if moved != nil && k.treeOK && k.samePts(pts) {
+		if float64(len(moved)) <= kineticDirtyFraction*float64(n) {
+			if edges, ok := ws.kineticMST(pts, moved); ok {
+				ws.stats.MSTRepairs++
+				ws.stats.MovedPoints += uint64(len(moved))
+				return ws.replayProfile(n, edges)
+			}
+		} else {
+			ws.stats.MSTDirtyFallbacks++
 		}
 	}
+	ws.stats.MSTRebuilds++
 	// Plain path; prime the tree cache whenever GeoMST ran its annulus
 	// Kruskal (n above the dense cutoff, non-degenerate extent) — only that
 	// path emits the strict-order edge list the repair continues from.
@@ -218,6 +224,8 @@ func (ws *Workspace) kineticMST(pts []geom.Point, moved []int32) ([]Edge, bool) 
 	for i := range k.frag {
 		k.frag[i] = ws.uf.Find(int32(i))
 	}
+	ws.stats.MSTKeptEdges += uint64(len(k.mstU))
+	ws.stats.MSTFragments += uint64(ws.uf.Count())
 
 	// Phase 2: exact Kruskal over the kept stream plus the per-round
 	// crossing minima, by expanding annuli so the candidate stream arrives
@@ -262,6 +270,8 @@ func (ws *Workspace) kineticMST(pts []geom.Point, moved []int32) ([]Edge, bool) 
 			ws.labels[i] = ws.uf.Find(int32(i))
 		}
 		ws.kd.MinPairsByLabelCrossing(ws.labels, k.frag, prevR2, r, k.minVisitor)
+		ws.stats.MSTRounds++
+		ws.stats.MSTCandidates += uint64(len(ws.cand))
 		sortCandidates(ws.cand)
 		for _, c := range ws.cand {
 			if ws.uf.Union(c.i, c.j) {
@@ -292,7 +302,12 @@ func (ws *Workspace) PointGraphKinetic(pts []geom.Point, dim int, r float64, mov
 	n := len(pts)
 	if k.armed && moved != nil && k.graphOK && k.samePts(pts) && r == k.graphR &&
 		float64(len(moved)) <= kineticDirtyFraction*float64(n) {
+		ws.stats.GraphRepairs++
+		ws.stats.MovedPoints += uint64(len(moved))
 		return ws.kineticPointGraph(n, r, moved)
+	}
+	if k.armed {
+		ws.stats.GraphRebuilds++
 	}
 	a := ws.PointGraph(pts, dim, r)
 	if k.armed {

@@ -60,6 +60,8 @@ type Workspace struct {
 	edgeVisitor  spatial.PairVisitor
 
 	kin kinetic // incremental-update state (kinetic.go); inert until SetKinetic(true)
+
+	stats WorkspaceStats // operation counters (stats.go), drained by TakeStats
 }
 
 // NewWorkspace returns an empty workspace. Buffers grow on first use and are
@@ -79,6 +81,7 @@ func AcquireWorkspace() *Workspace { return workspacePool.Get().(*Workspace) }
 func ReleaseWorkspace(ws *Workspace) {
 	ws.backend = spatial.BackendAuto
 	ws.SetKinetic(false)
+	ws.TakeStats() // drop unclaimed counters so the next acquirer starts at zero
 	workspacePool.Put(ws)
 }
 
@@ -97,7 +100,13 @@ func (ws *Workspace) resolveBackend(pts []geom.Point, dim int, r float64) spatia
 	if ws.backend != spatial.BackendAuto {
 		return ws.backend
 	}
-	return spatial.ChooseBackend(pts, dim, r)
+	b := spatial.ChooseBackend(pts, dim, r)
+	if b == spatial.BackendKDTree {
+		ws.stats.TreePicks++
+	} else {
+		ws.stats.GridPicks++
+	}
+	return b
 }
 
 // Points returns the workspace's placement scratch buffer resized to n

@@ -1,0 +1,33 @@
+package obs
+
+import "time"
+
+// This file is the ONLY place in the module outside the CLIs where the time
+// package's clock is read. Everything else — including the rest of this
+// package — reaches wall time through the Clock value below, so the
+// determinism analyzers (detrand, obsclock in internal/analysis) can keep the
+// no-wall-clock guarantee auditable: detrand forbids time.Now/Since in the
+// simulation packages outright, and obsclock additionally pins every
+// time-package clock call inside internal/obs to this file.
+//
+// The indirection is deliberately NOT an interface: instrumentation sits on
+// hot paths, and a concrete struct method call is inlineable where an
+// interface dispatch is not. Tests that need a fake clock wrap their timing
+// at the call site instead of swapping Clock.
+
+// SystemClock reads the process monotonic/wall clock. All methods are cheap
+// and allocation-free.
+type SystemClock struct{}
+
+// Clock is the module's single sanctioned wall-clock source.
+var Clock SystemClock
+
+// Now returns the current time (carrying Go's monotonic reading, so
+// Since/Sub measure elapsed time immune to wall-clock steps).
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// Since returns the elapsed time since t.
+func (SystemClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewTicker returns a ticker firing every d. Callers must Stop it.
+func (SystemClock) NewTicker(d time.Duration) *time.Ticker { return time.NewTicker(d) }

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry's values, the single source
+// both encodings (expvar-style JSON and Prometheus text) and the run report
+// are derived from. Maps are keyed by full metric name (which may carry
+// literal labels, e.g. `adhocnet_run_phase_ns_total{phase="fixed"}`);
+// encoding/json sorts map keys and the Prometheus encoder sorts explicitly,
+// so both encodings are byte-stable for a given set of values (pinned by the
+// golden tests).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is the exported state of one histogram: exact count and
+// sum plus the non-empty power-of-two buckets.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum"`
+	// Buckets lists only the non-empty buckets, in increasing bound order.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-empty bucket: the inclusive upper bound (2^k-1)
+// and the observation count within the bucket (non-cumulative; the
+// Prometheus encoder accumulates).
+type HistogramBucket struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// Snapshot copies the registry's current values. Safe to call concurrently
+// with metric updates (values are read atomically; cross-metric consistency
+// is not promised, which is the usual scrape contract). A nil or disabled
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Counters: map[string]uint64{}}
+	if !r.Enabled() {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap.Counters[name] = r.counters[name].Value()
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		names = names[:0]
+		for name := range r.gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			snap.Gauges[name] = r.gauges[name].Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		names = names[:0]
+		for name := range r.histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			snap.Histograms[name] = r.histograms[name].snapshot()
+		}
+	}
+	return snap
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for k := range h.buckets {
+		if n := h.buckets[k].Load(); n > 0 {
+			out.Buckets = append(out.Buckets, HistogramBucket{UpperBound: BucketUpperBound(k), Count: n})
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented expvar-style JSON. Map keys are
+// sorted by encoding/json, so the output is byte-stable.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4), sorted by metric name. Label-carrying names share
+// one # TYPE line per base name; histograms expand to the _bucket/_sum/_count
+// triplet with cumulative le bounds.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	prevBase := ""
+	for _, name := range names {
+		base := promBaseName(name)
+		if base != prevBase {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+			prevBase = base
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	prevBase = ""
+	for _, name := range names {
+		base := promBaseName(name)
+		if base != prevBase {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+			prevBase = base
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promBaseName strips the literal label block from a metric name:
+// `x_total{phase="fixed"}` -> `x_total`.
+func promBaseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixedRegistry builds a registry with deterministic values, shared by the
+// golden encoding tests.
+func fixedRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("adhocnet_run_iterations_total").Add(8)
+	r.Counter(`adhocnet_run_phase_ns_total{phase="estimate"}`).Add(1500)
+	r.Counter(`adhocnet_run_phase_ns_total{phase="fixed"}`).Add(2500)
+	r.Gauge("adhocnet_run_iterations_planned").Set(10)
+	h := r.Histogram("adhocnet_scheduler_eval_ns")
+	h.Observe(3)
+	h.Observe(900)
+	h.Observe(1000)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := fixedRegistry().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE adhocnet_run_iterations_total counter
+adhocnet_run_iterations_total 8
+# TYPE adhocnet_run_phase_ns_total counter
+adhocnet_run_phase_ns_total{phase="estimate"} 1500
+adhocnet_run_phase_ns_total{phase="fixed"} 2500
+# TYPE adhocnet_run_iterations_planned gauge
+adhocnet_run_iterations_planned 10
+# TYPE adhocnet_scheduler_eval_ns histogram
+adhocnet_scheduler_eval_ns_bucket{le="3"} 1
+adhocnet_scheduler_eval_ns_bucket{le="1023"} 3
+adhocnet_scheduler_eval_ns_bucket{le="+Inf"} 3
+adhocnet_scheduler_eval_ns_sum 1903
+adhocnet_scheduler_eval_ns_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("Prometheus text mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := fixedRegistry().Snapshot().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "counters": {
+    "adhocnet_run_iterations_total": 8,
+    "adhocnet_run_phase_ns_total{phase=\"estimate\"}": 1500,
+    "adhocnet_run_phase_ns_total{phase=\"fixed\"}": 2500
+  },
+  "gauges": {
+    "adhocnet_run_iterations_planned": 10
+  },
+  "histograms": {
+    "adhocnet_scheduler_eval_ns": {
+      "count": 3,
+      "sum": 1903,
+      "buckets": [
+        {
+          "le": 3,
+          "count": 1
+        },
+        {
+          "le": 1023,
+          "count": 2
+        }
+      ]
+    }
+  }
+}
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("JSON mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotEmptyForDisabled(t *testing.T) {
+	for _, r := range []*Registry{nil, NewDisabled()} {
+		snap := r.Snapshot()
+		if len(snap.Counters) != 0 || snap.Gauges != nil || snap.Histograms != nil {
+			t.Fatalf("snapshot of nil/disabled registry not empty: %+v", snap)
+		}
+		var sb strings.Builder
+		if err := snap.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if sb.Len() != 0 {
+			t.Fatalf("Prometheus text for empty snapshot: %q", sb.String())
+		}
+	}
+}
+
+func TestPromBaseName(t *testing.T) {
+	if got := promBaseName(`x_total{phase="fixed"}`); got != "x_total" {
+		t.Fatalf("promBaseName = %q", got)
+	}
+	if got := promBaseName("plain"); got != "plain" {
+		t.Fatalf("promBaseName = %q", got)
+	}
+}

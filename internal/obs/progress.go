@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Well-known metric names shared between the scheduler instrumentation
+// (internal/core), the CLIs and the progress printer. Keeping them here
+// makes the catalog greppable and the names stable for dashboards.
+const (
+	MetricIterationsTotal    = "adhocnet_run_iterations_total"
+	MetricIterationsRestored = "adhocnet_run_iterations_restored_total"
+	MetricIterationsPlanned  = "adhocnet_run_iterations_planned"
+	MetricProduceNs          = "adhocnet_scheduler_produce_ns"
+	MetricEvalNs             = "adhocnet_scheduler_eval_ns"
+	MetricMergeNs            = "adhocnet_scheduler_merge_ns"
+)
+
+// Progress prints periodic one-line run summaries (iterations done, phase
+// breakdown, ETA) to a writer — the long-run heartbeat on stderr. It reads
+// the registry's counters; it never touches simulation state.
+type Progress struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartProgress starts a ticker goroutine printing every interval until
+// Stop. The registry must be enabled (a disabled registry would print
+// all-zero lines; callers gate on that). Output lines are prefixed with the
+// given tag (usually the program name).
+func StartProgress(w io.Writer, r *Registry, tag string, interval time.Duration) *Progress {
+	p := &Progress{stop: make(chan struct{}), done: make(chan struct{})}
+	start := Clock.Now()
+	go func() {
+		defer close(p.done)
+		tick := Clock.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick.C:
+				fmt.Fprintf(w, "%s: %s\n", tag, progressLine(r, Clock.Since(start)))
+			}
+		}
+	}()
+	return p
+}
+
+// Stop halts the ticker and joins the goroutine. Safe to call once.
+func (p *Progress) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+// progressLine renders one heartbeat from the registry's current values.
+func progressLine(r *Registry, elapsed time.Duration) string {
+	done := r.Counter(MetricIterationsTotal).Value()
+	planned := r.Gauge(MetricIterationsPlanned).Value()
+	line := fmt.Sprintf("progress %d", done)
+	if planned > 0 {
+		line = fmt.Sprintf("progress %d/%d iterations (%.0f%%)", done, planned,
+			100*float64(done)/float64(planned))
+	}
+	line += fmt.Sprintf(" elapsed %s", elapsed.Round(time.Second))
+	if planned > 0 && done > 0 && uint64(planned) > done {
+		eta := time.Duration(float64(elapsed) * float64(uint64(planned)-done) / float64(done))
+		line += fmt.Sprintf(" eta %s", eta.Round(time.Second))
+	}
+	produce := r.Histogram(MetricProduceNs).Sum()
+	eval := r.Histogram(MetricEvalNs).Sum()
+	merge := r.Histogram(MetricMergeNs).Sum()
+	if total := produce + eval + merge; total > 0 {
+		line += fmt.Sprintf(" phases produce %.0f%% eval %.0f%% merge %.0f%%",
+			100*float64(produce)/float64(total),
+			100*float64(eval)/float64(total),
+			100*float64(merge)/float64(total))
+	}
+	return line
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded writer: the progress goroutine writes while
+// the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestProgressPrintsAndStops(t *testing.T) {
+	leakCheck(t)
+	r := NewRegistry()
+	r.Counter(MetricIterationsTotal).Add(3)
+	r.Gauge(MetricIterationsPlanned).Set(12)
+	var buf syncBuffer
+	p := StartProgress(&buf, r, "adhocsim", 5*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for buf.String() == "" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "adhocsim: progress 3/12 iterations (25%)") {
+		t.Fatalf("progress output missing heartbeat:\n%s", out)
+	}
+	if !strings.Contains(out, " eta ") {
+		t.Fatalf("progress output missing eta:\n%s", out)
+	}
+	// After Stop the goroutine is gone; no further writes may appear.
+	n := len(out)
+	time.Sleep(20 * time.Millisecond)
+	if got := buf.String(); len(got) != n {
+		t.Fatalf("progress wrote after Stop:\n%s", got[n:])
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	r := NewRegistry()
+	line := progressLine(r, 3*time.Second)
+	if !strings.HasPrefix(line, "progress 0") {
+		t.Fatalf("empty-registry line = %q", line)
+	}
+	r.Counter(MetricIterationsTotal).Add(5)
+	r.Gauge(MetricIterationsPlanned).Set(10)
+	r.Histogram(MetricProduceNs).Observe(100)
+	r.Histogram(MetricEvalNs).Observe(250)
+	r.Histogram(MetricMergeNs).Observe(50)
+	line = progressLine(r, 4*time.Second)
+	for _, want := range []string{
+		"progress 5/10 iterations (50%)",
+		"elapsed 4s",
+		"eta 4s",
+		"phases produce 25% eval 62% merge 12%",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}

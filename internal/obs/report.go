@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RunReportSchema identifies the run-report JSON layout. Consumers must
+// check it: the decoder rejects unknown fields (strict JSON, the same
+// contract as scenario specs and checkpoints), so schema evolution is
+// explicit — a new field means a new schema revision, never a silently
+// ignored key.
+const RunReportSchema = "adhocnet/run-report/v1"
+
+// RunReport is the structured end-of-run telemetry summary a CLI writes with
+// -run-report: the machine-readable sibling of the printed report rows. It
+// carries the workload identity, the per-phase wall timings, and the full
+// metric snapshot (kinetic/spatial/scheduler counters included), so a run's
+// performance can be archived and diffed without scraping the live endpoint.
+//
+// Only the wall-clock fields (WallSeconds, Phases) and the timing metrics
+// vary between identical runs; every result-adjacent value in here is
+// derived from deterministic counters.
+type RunReport struct {
+	Schema   string `json:"schema"`
+	Workload string `json:"workload,omitempty"`
+
+	Iterations int    `json:"iterations,omitempty"`
+	Steps      int    `json:"steps,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	Split      string `json:"split,omitempty"` // the scheduler's outer x inner split
+
+	WallSeconds float64       `json:"wall_seconds,omitempty"`
+	Phases      []PhaseTiming `json:"phases,omitempty"`
+
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// PhaseTiming is one run phase's wall-clock share.
+type PhaseTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// NewRunReport builds a report from the registry's current values. The
+// caller fills the workload/phase fields it knows.
+func NewRunReport(r *Registry) *RunReport {
+	snap := r.Snapshot()
+	return &RunReport{
+		Schema:     RunReportSchema,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
+	}
+}
+
+// Encode renders the report as indented JSON. Map keys are sorted by
+// encoding/json, so equal reports encode byte-identically (the golden test's
+// contract).
+func (rep *RunReport) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: encoding run report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeRunReport parses a run report strictly: unknown fields are errors
+// (so a typo'd or future-schema file fails loudly), and the schema string
+// must match RunReportSchema.
+func DecodeRunReport(data []byte) (*RunReport, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep RunReport
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("obs: decoding run report: %w", err)
+	}
+	if rep.Schema != RunReportSchema {
+		return nil, fmt.Errorf("obs: run report schema %q, want %q", rep.Schema, RunReportSchema)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("obs: trailing data after run report")
+	}
+	return &rep, nil
+}
+
+// WriteFile encodes the report and writes it atomically enough for a CLI
+// (temp-free single write; reports are small).
+func (rep *RunReport) WriteFile(path string) error {
+	data, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: writing run report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunReportGolden(t *testing.T) {
+	rep := NewRunReport(fixedRegistry())
+	rep.Workload = "test-workload-hash"
+	rep.Iterations = 8
+	rep.Steps = 16
+	rep.Workers = 4
+	rep.Split = "4x2"
+	rep.WallSeconds = 1.5
+	rep.Phases = []PhaseTiming{
+		{Name: "estimate", Seconds: 0.5},
+		{Name: "fixed", Seconds: 1.0},
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "schema": "adhocnet/run-report/v1",
+  "workload": "test-workload-hash",
+  "iterations": 8,
+  "steps": 16,
+  "workers": 4,
+  "split": "4x2",
+  "wall_seconds": 1.5,
+  "phases": [
+    {
+      "name": "estimate",
+      "seconds": 0.5
+    },
+    {
+      "name": "fixed",
+      "seconds": 1
+    }
+  ],
+  "counters": {
+    "adhocnet_run_iterations_total": 8,
+    "adhocnet_run_phase_ns_total{phase=\"estimate\"}": 1500,
+    "adhocnet_run_phase_ns_total{phase=\"fixed\"}": 2500
+  },
+  "gauges": {
+    "adhocnet_run_iterations_planned": 10
+  },
+  "histograms": {
+    "adhocnet_scheduler_eval_ns": {
+      "count": 3,
+      "sum": 1903,
+      "buckets": [
+        {
+          "le": 3,
+          "count": 1
+        },
+        {
+          "le": 1023,
+          "count": 2
+        }
+      ]
+    }
+  }
+}
+`
+	if got := string(data); got != want {
+		t.Fatalf("run report mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	back, err := DecodeRunReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", back, rep)
+	}
+}
+
+func TestDecodeRunReportStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"unknown field", `{"schema":"adhocnet/run-report/v1","counters":{},"bogus":1}`},
+		{"wrong schema", `{"schema":"adhocnet/run-report/v0","counters":{}}`},
+		{"missing schema", `{"counters":{}}`},
+		{"trailing data", `{"schema":"adhocnet/run-report/v1","counters":{}} trailing`},
+		{"trailing json", `{"schema":"adhocnet/run-report/v1","counters":{}}{}`},
+		{"not json", `nope`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRunReport([]byte(tc.data)); err == nil {
+			t.Errorf("%s: DecodeRunReport accepted %q", tc.name, tc.data)
+		}
+	}
+}
+
+func TestRunReportWriteFile(t *testing.T) {
+	rep := NewRunReport(fixedRegistry())
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Fatal("report file missing trailing newline")
+	}
+	back, err := DecodeRunReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+// FuzzRunReportDecode checks the strict decoder never panics and that every
+// accepted input round-trips byte-stably: decode → encode → decode must
+// reproduce the same report and the same bytes (the schema-stability
+// contract for archived reports).
+func FuzzRunReportDecode(f *testing.F) {
+	seed, err := NewRunReport(fixedRegistry()).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"schema":"adhocnet/run-report/v1","counters":{}}`)
+	f.Add(`{"schema":"adhocnet/run-report/v1","counters":{"a":1},"phases":[{"name":"x","seconds":0.25}]}`)
+	f.Add(`{}`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, data string) {
+		rep, err := DecodeRunReport([]byte(data))
+		if err != nil {
+			return
+		}
+		enc, err := rep.Encode()
+		if err != nil {
+			t.Fatalf("accepted report failed to encode: %v", err)
+		}
+		rep2, err := DecodeRunReport(enc)
+		if err != nil {
+			t.Fatalf("re-encoded report failed to decode: %v\n%s", err, enc)
+		}
+		enc2, err := rep2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("encode not stable:\nfirst:\n%s\nsecond:\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server is the ops endpoint a CLI mounts next to a running simulation
+// (`adhocsim -obs <addr>` / `repro -obs <addr>`), and the surface the
+// planned adhocsimd daemon will reuse:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/vars         expvar-style JSON snapshot (also at /debug/vars)
+//	/debug/pprof/ the net/http/pprof profile handlers
+//
+// It serves on its own mux and listener — nothing is registered on
+// http.DefaultServeMux — so tests and future daemon code can run several
+// servers in one process, and Close fully joins the serve goroutine (the
+// goroutine-leak test pins this).
+type Server struct {
+	lis  net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// StartServer listens on addr (":0" picks a free port; see Addr) and serves
+// the registry until Close. The registry may be nil or disabled — the
+// endpoint then serves empty snapshots, which keeps -obs usable as a pure
+// pprof endpoint.
+func StartServer(addr string, r *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.Snapshot().WritePrometheus(w); err != nil {
+			// The response is already streaming; nothing to do but drop it.
+			return
+		}
+	})
+	vars := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.Snapshot().WriteJSON(w); err != nil {
+			return
+		}
+	}
+	mux.HandleFunc("/vars", vars)
+	mux.HandleFunc("/debug/vars", vars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		lis:  lis,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// Serve returns ErrServerClosed on Close; any other error means the
+		// listener died under us, which Close surfaces via srv.Close below.
+		_ = s.srv.Serve(lis)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolving the ":0" port).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener, closes active connections and joins the serve
+// goroutine. Safe to call once; the server cannot be restarted.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakCheck fails the test if goroutines started during it outlive it. The
+// ops server promises a clean shutdown (Close joins the serve goroutine);
+// this pins that, mirroring the scheduler's lifecycle tests.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Drop keep-alive client connections so their transport goroutines
+		// don't count as leaks.
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+	})
+}
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	leakCheck(t)
+	s, err := StartServer("127.0.0.1:0", fixedRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil && err != http.ErrServerClosed {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	base := "http://" + s.Addr()
+
+	metrics, ctype := get(t, base+"/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ctype)
+	}
+	if !strings.Contains(metrics, "adhocnet_run_iterations_total 8") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `adhocnet_scheduler_eval_ns_bucket{le="+Inf"} 3`) {
+		t.Errorf("/metrics missing histogram:\n%s", metrics)
+	}
+
+	for _, path := range []string{"/vars", "/debug/vars"} {
+		body, ctype := get(t, base+path)
+		if !strings.HasPrefix(ctype, "application/json") {
+			t.Errorf("%s Content-Type = %q", path, ctype)
+		}
+		if !strings.Contains(body, `"adhocnet_run_iterations_total": 8`) {
+			t.Errorf("%s missing counter:\n%s", path, body)
+		}
+	}
+
+	index, _ := get(t, base+"/debug/pprof/")
+	if !strings.Contains(index, "goroutine") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%s", index)
+	}
+}
+
+func TestServerNilRegistry(t *testing.T) {
+	leakCheck(t)
+	s, err := StartServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	body, _ := get(t, "http://"+s.Addr()+"/metrics")
+	if body != "" {
+		t.Errorf("/metrics on nil registry = %q, want empty", body)
+	}
+	body, _ = get(t, "http://"+s.Addr()+"/vars")
+	if !strings.Contains(body, `"counters": {}`) {
+		t.Errorf("/vars on nil registry = %q", body)
+	}
+}
+
+func TestServerCloseJoins(t *testing.T) {
+	leakCheck(t)
+	// Start/stop repeatedly: each cycle must fully release its goroutine and
+	// its port resources.
+	for range 5 {
+		s, err := StartServer("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Addr() == "" {
+			t.Fatal("empty Addr")
+		}
+		if err := s.Close(); err != nil && err != http.ErrServerClosed {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+}

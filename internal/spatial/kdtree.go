@@ -60,6 +60,8 @@ type KDTree struct {
 	// Rebuild, which triggers the staleness rebuild.
 	pos        []int32
 	staleMoves int
+
+	stats Stats // operation counters, drained by TakeStats
 }
 
 // NewKDTree builds a tree over pts. The dim argument is retained for API
@@ -77,6 +79,7 @@ func NewKDTree(pts []geom.Point, dim int) *KDTree {
 // every radius.
 func (t *KDTree) Rebuild(pts []geom.Point, dim int) {
 	_ = dim
+	t.stats.Rebuilds++
 	t.pts = pts
 	n := len(pts)
 	t.idx = growInt32(t.idx, n)
@@ -237,6 +240,7 @@ func (t *KDTree) ForEachPairWithin(r float64, visit PairVisitor) {
 // Pass lo2 < 0 (or -Inf) for a plain within-r query including d2 == 0.
 //adhoc:hotpath
 func (t *KDTree) ForEachPairInAnnulus(lo2, r float64, visit PairVisitor) {
+	t.stats.PairQueries++
 	if r < 0 || t.root < 0 || len(t.pts) < 2 {
 		return
 	}
@@ -359,6 +363,7 @@ func axisSpan(amin, amax, bmin, bmax float64) float64 {
 // The tree is rebuilt over pts; distances are bit-identical to the grid
 // path, since both take the exact minimum of the same geom.Dist2 values.
 func (t *KDTree) NearestNeighborDistancesInto(dst []float64, pts []geom.Point) []float64 {
+	t.stats.NNQueries++
 	n := len(pts)
 	dst = dst[:n]
 	if n < 2 {

@@ -98,6 +98,7 @@ type minPairsScratch struct {
 // subtrees prunable. Visit order is unspecified (callers sort, as they do
 // for the flat enumeration).
 func (t *KDTree) MinPairsByLabel(labels []int32, lo2, r float64, visit PairVisitor) {
+	t.stats.MinPairsRounds++
 	if r < 0 || t.root < 0 || len(t.pts) < 2 {
 		return
 	}

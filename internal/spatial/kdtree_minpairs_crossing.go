@@ -36,6 +36,7 @@ import "adhocnet/internal/geom"
 // (only ==/!= matters). Negative labels exclude their points exactly as in
 // MinPairsByLabel. Visit order is unspecified.
 func (t *KDTree) MinPairsByLabelCrossing(labels, frag []int32, lo2, r float64, visit PairVisitor) {
+	t.stats.MinPairsRounds++
 	if r < 0 || t.root < 0 || len(t.pts) < 2 {
 		return
 	}

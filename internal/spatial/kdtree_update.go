@@ -33,14 +33,17 @@ const kdStaleRebuildFactor = 1
 // last build exceeds kdStaleRebuildFactor times n (loose boxes cost query
 // time, never correctness).
 func (t *KDTree) Update(moved []int32) {
+	t.stats.Updates++
 	n := len(t.pts)
 	if t.root < 0 || len(t.pos) != n {
+		t.stats.UpdateRebuilds++
 		t.Rebuild(t.pts, 3)
 		return
 	}
 	t.staleMoves += len(moved)
 	if float64(len(moved)) > updateDirtyFraction*float64(n) ||
 		t.staleMoves > kdStaleRebuildFactor*n {
+		t.stats.UpdateRebuilds++
 		t.Rebuild(t.pts, 3)
 		return
 	}
@@ -97,6 +100,7 @@ func (t *KDTree) expandPath(slot int32, p geom.Point) {
 //
 //adhoc:hotpath
 func (t *KDTree) ForEachNearInAnnulus(i int32, lo2, r float64, visit PairVisitor) {
+	t.stats.NearQueries++
 	if r < 0 || t.root < 0 {
 		return
 	}

@@ -48,6 +48,8 @@ type Index struct {
 	scratch  []int32 // query scratch (expanding-radius searches)
 	nodeCell []int32 // cell of every point, kept in sync by Rebuild and Update
 	reqSide  float64 // side Rebuild was asked for (Update's internal-fallback input)
+
+	stats Stats // operation counters, drained by TakeStats
 }
 
 // maxCellBudget bounds the total cell count so the CSR arrays stay O(n).
@@ -76,6 +78,7 @@ func NewIndex(pts []geom.Point, dim int, side float64) *Index {
 // arrays. It is the zero-allocation path for workloads that index one
 // snapshot after another.
 func (ix *Index) Rebuild(pts []geom.Point, dim int, side float64) {
+	ix.stats.Rebuilds++
 	ix.pts = pts
 	ix.reqSide = side
 	n := len(pts)
@@ -268,6 +271,7 @@ func (ix *Index) Side() float64 { return ix.side }
 // scan in that case rather than return wrong results.
 //adhoc:hotpath
 func (ix *Index) ForEachPairWithin(r float64, visit PairVisitor) {
+	ix.stats.PairQueries++
 	if r < 0 {
 		return
 	}

@@ -1,0 +1,55 @@
+package spatial
+
+// Stats are plain per-index operation counters, the raw material of the
+// observability layer (internal/obs). They are deliberately NOT atomics: an
+// Index/KDTree is goroutine-owned (one per workspace), so plain increments
+// cost one add on paths that are otherwise hot, and the owning workspace
+// flushes them into registry atomics at iteration boundaries
+// (graph.Workspace.TakeStats). The counters are deterministic functions of
+// the workload — they count structural events, never wall time — so flushing
+// or dropping them can never perturb results.
+type Stats struct {
+	// Rebuilds counts full index builds (including those Update fell back to).
+	Rebuilds uint64
+	// Updates counts incremental Update calls (kinetic repair steps).
+	Updates uint64
+	// UpdateRebuilds counts Update calls that abandoned the incremental path
+	// for a full rebuild (dirty fraction exceeded, stale boxes, cold index).
+	UpdateRebuilds uint64
+	// PairQueries counts all-pairs scans (ForEachPairWithin and the annulus
+	// form) — one per MST round or point-graph build, not per pair.
+	PairQueries uint64
+	// NearQueries counts directed single-point queries (ForEachNear /
+	// ForEachNearInAnnulus), one per moved point in the kinetic repair.
+	NearQueries uint64
+	// MinPairsRounds counts dual-tree minimum-pair rounds (MinPairsByLabel
+	// and the fragment-crossing form), the k-d tree MST's annulus rounds.
+	MinPairsRounds uint64
+	// NNQueries counts NearestNeighborDistancesInto calls.
+	NNQueries uint64
+}
+
+// Add folds o into s (the workspace aggregation step).
+func (s *Stats) Add(o Stats) {
+	s.Rebuilds += o.Rebuilds
+	s.Updates += o.Updates
+	s.UpdateRebuilds += o.UpdateRebuilds
+	s.PairQueries += o.PairQueries
+	s.NearQueries += o.NearQueries
+	s.MinPairsRounds += o.MinPairsRounds
+	s.NNQueries += o.NNQueries
+}
+
+// TakeStats returns the grid's counters since the last call and resets them.
+func (ix *Index) TakeStats() Stats {
+	s := ix.stats
+	ix.stats = Stats{}
+	return s
+}
+
+// TakeStats returns the tree's counters since the last call and resets them.
+func (t *KDTree) TakeStats() Stats {
+	s := t.stats
+	t.stats = Stats{}
+	return s
+}

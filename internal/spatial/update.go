@@ -32,8 +32,10 @@ const updateDirtyFraction = 0.5
 // the index was never built over this slice length) Update falls back to a
 // full Rebuild at the side the caller last requested.
 func (ix *Index) Update(moved []int32) {
+	ix.stats.Updates++
 	n := len(ix.pts)
 	if len(ix.nodeCell) != n || float64(len(moved)) > updateDirtyFraction*float64(n) {
+		ix.stats.UpdateRebuilds++
 		ix.Rebuild(ix.pts, 3, ix.reqSide)
 		return
 	}
@@ -64,6 +66,7 @@ func (ix *Index) Update(moved []int32) {
 //
 //adhoc:hotpath
 func (ix *Index) ForEachNear(i int32, r float64, visit PairVisitor) {
+	ix.stats.NearQueries++
 	if r < 0 {
 		return
 	}
